@@ -1,0 +1,56 @@
+//! Criterion wall-clock benches for the message-passing substrate itself:
+//! collective operations over real threads (the virtual-time cost is
+//! benchmarked separately by `ablation_reduction`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archetype_mp::{run_spmd, MachineModel};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_p8");
+    g.sample_size(20);
+    let model = MachineModel::zero_comm();
+
+    g.bench_function("barrier_x100", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                for _ in 0..100 {
+                    ctx.barrier();
+                }
+            })
+        })
+    });
+    g.bench_function("all_reduce_f64_x100", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                for _ in 0..100 {
+                    ctx.all_reduce(ctx.rank() as f64, f64::max);
+                }
+            })
+        })
+    });
+    g.bench_function("all_to_all_1kB_x10", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                for _ in 0..10 {
+                    let items: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 1024]).collect();
+                    ctx.all_to_all(items);
+                }
+            })
+        })
+    });
+    g.bench_function("broadcast_64kB_x10", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                for _ in 0..10 {
+                    let v = (ctx.rank() == 0).then(|| vec![0u8; 65536]);
+                    ctx.broadcast(0, v);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

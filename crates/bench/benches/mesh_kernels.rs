@@ -1,0 +1,75 @@
+//! Criterion wall-clock benches for the mesh-spectral kernels: version-1
+//! shared-memory implementations in sequential vs rayon mode, plus the
+//! 1-D FFT building block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archetype_core::ExecutionMode;
+use archetype_mesh::apps::cfd::{cfd_shared, shock_sine_init, CfdSpec};
+use archetype_mesh::apps::fft2d::fft2d_shared;
+use archetype_mesh::apps::poisson::{poisson_shared, sine_problem};
+use archetype_numerics::{fft_in_place, Complex, Direction};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 4096] {
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), 0.0))
+            .collect();
+        g.bench_function(format!("fft1d_{n}"), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                fft_in_place(&mut v, Direction::Forward);
+                v
+            })
+        });
+    }
+    let n = 128usize;
+    let input: Vec<Complex> = (0..n * n)
+        .map(|i| Complex::new((i as f64 * 0.13).cos(), 0.0))
+        .collect();
+    for mode in ExecutionMode::both() {
+        g.bench_function(format!("fft2d_{n}x{n}_{mode}"), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                fft2d_shared(mode, &mut v, n, n);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson_128_20sweeps");
+    g.sample_size(20);
+    let spec = sine_problem(128, 0.0, 20);
+    for mode in ExecutionMode::both() {
+        g.bench_function(format!("{mode}"), |b| {
+            b.iter(|| poisson_shared(&spec, mode))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cfd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfd_128x64_10steps");
+    g.sample_size(20);
+    let spec = CfdSpec {
+        nx: 128,
+        ny: 64,
+        lx: 1.0,
+        ly: 0.5,
+        cfl: 0.4,
+        steps: 10,
+    };
+    for mode in ExecutionMode::both() {
+        g.bench_function(format!("{mode}"), |b| {
+            b.iter(|| cfd_shared(&spec, mode, |i, j| shock_sine_init(&spec, i, j)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_poisson, bench_cfd);
+criterion_main!(benches);

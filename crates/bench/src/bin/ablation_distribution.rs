@@ -1,0 +1,53 @@
+//! Ablation: block (`NPX × NPY`) vs strip (`1 × P`) data distribution for
+//! the Poisson solver. The paper notes that "the choice of data
+//! distribution may affect the resulting program's efficiency" while being
+//! orthogonal to correctness; this quantifies it — near-square blocks
+//! minimize the exchanged perimeter.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::apps::poisson::{poisson_spmd, poisson_sweep_flops, sine_problem};
+use archetype_mp::{run_spmd, CostMeter, MachineModel, ProcessGrid2};
+
+fn main() {
+    let n = 256usize;
+    let steps = 50usize;
+    let model = MachineModel::ibm_sp();
+    let spec = sine_problem(n, 0.0, steps);
+    let ps = [4usize, 9, 16, 25, 36];
+
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(steps as f64 * poisson_sweep_flops(n, n));
+    let t_seq = seq.elapsed();
+
+    let mut block = Vec::new();
+    let mut strip = Vec::new();
+    for &p in &ps {
+        let square = ProcessGrid2::near_square(p);
+        let t_block = run_spmd(p, model, move |ctx| {
+            poisson_spmd(ctx, &spec, square);
+        })
+        .elapsed_virtual;
+        let strips = ProcessGrid2::new(1, p);
+        let t_strip = run_spmd(p, model, move |ctx| {
+            poisson_spmd(ctx, &spec, strips);
+        })
+        .elapsed_virtual;
+        block.push(SpeedupPoint::new(p, t_seq, t_block));
+        strip.push(SpeedupPoint::new(p, t_seq, t_strip));
+    }
+    let curves = vec![
+        Curve {
+            label: "block (near-square)".into(),
+            points: block,
+        },
+        Curve {
+            label: "strip (1 x P)".into(),
+            points: strip,
+        },
+    ];
+    print_figure(
+        &format!("Ablation: Poisson data distribution, {n}x{n} grid, {steps} steps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("ablation_distribution", &curves);
+}

@@ -1,0 +1,64 @@
+//! Ablation: ghost-boundary exchange (paper Figure 7) vs the naive
+//! alternative of re-replicating the whole grid with an all-gather every
+//! step. Quantifies what the archetype's boundary-exchange communication
+//! pattern buys for stencil codes.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::grid2::DistGrid2;
+use archetype_mp::{run_spmd, MachineModel, ProcessGrid2};
+
+const N: usize = 256;
+const STEPS: usize = 20;
+
+fn time_ghost_exchange(p: usize, model: MachineModel) -> f64 {
+    let pg = ProcessGrid2::near_square(p);
+    run_spmd(p, model, move |ctx| {
+        let mut g = DistGrid2::from_global(ctx.rank(), pg, N, N, 1, 0.0, |i, j| (i + j) as f64);
+        for _ in 0..STEPS {
+            g.exchange_ghosts(ctx);
+            ctx.charge_items(g.nx() * g.ny(), 6.0); // the stencil sweep
+        }
+    })
+    .elapsed_virtual
+}
+
+fn time_full_broadcast(p: usize, model: MachineModel) -> f64 {
+    let pg = ProcessGrid2::near_square(p);
+    run_spmd(p, model, move |ctx| {
+        let g = DistGrid2::from_global(ctx.rank(), pg, N, N, 1, 0.0, |i, j| (i + j) as f64);
+        for _ in 0..STEPS {
+            // Naive: everyone gets everyone's interior every step.
+            let _all: Vec<Vec<f64>> = ctx.all_gather(g.block.interior());
+            ctx.charge_items(g.nx() * g.ny(), 6.0);
+        }
+    })
+    .elapsed_virtual
+}
+
+fn main() {
+    let model = MachineModel::ibm_sp();
+    let ps = [2usize, 4, 9, 16, 25, 36];
+    let mut ghost = Vec::new();
+    let mut bcast = Vec::new();
+    for &p in &ps {
+        let t_g = time_ghost_exchange(p, model);
+        let t_b = time_full_broadcast(p, model);
+        ghost.push(SpeedupPoint::new(p, t_b, t_g));
+        bcast.push(SpeedupPoint::new(p, t_b, t_b));
+    }
+    let curves = vec![
+        Curve {
+            label: "ghost exchange (rel.)".into(),
+            points: ghost,
+        },
+        Curve {
+            label: "full all-gather (baseline)".into(),
+            points: bcast,
+        },
+    ];
+    print_figure(
+        &format!("Ablation: boundary refresh strategy, {N}x{N} grid, {STEPS} steps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("ablation_exchange", &curves);
+}

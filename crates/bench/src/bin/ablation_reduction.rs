@@ -1,0 +1,58 @@
+//! Ablation: recursive-doubling all-reduce (paper Figure 8) vs the naive
+//! gather-to-root + broadcast implementation, across process counts and
+//! machine models. Shows why the archetype library defaults to recursive
+//! doubling: O(log P) vs O(P) critical path.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mp::{run_spmd, MachineModel};
+
+fn time_reduce(p: usize, model: MachineModel, recursive_doubling: bool) -> f64 {
+    // 100 back-to-back reductions of one f64, as in an iterative solver.
+    run_spmd(p, model, move |ctx| {
+        for i in 0..100 {
+            let x = (ctx.rank() + i) as f64;
+            if recursive_doubling {
+                ctx.all_reduce(x, f64::max);
+            } else {
+                ctx.all_reduce_via_gather(x, f64::max);
+            }
+        }
+    })
+    .elapsed_virtual
+}
+
+fn main() {
+    let ps = [2usize, 4, 8, 16, 32, 64];
+    for model in [MachineModel::ibm_sp(), MachineModel::workstation_network()] {
+        let mut rd = Vec::new();
+        let mut gb = Vec::new();
+        for &p in &ps {
+            let t_rd = time_reduce(p, model, true);
+            let t_gb = time_reduce(p, model, false);
+            // Report as "speedup of recursive doubling over gather+bcast".
+            rd.push(SpeedupPoint::new(p, t_gb, t_rd));
+            gb.push(SpeedupPoint::new(p, t_gb, t_gb));
+        }
+        let curves = vec![
+            Curve {
+                label: "recursive doubling (rel.)".into(),
+                points: rd,
+            },
+            Curve {
+                label: "gather+broadcast (baseline)".into(),
+                points: gb,
+            },
+        ];
+        print_figure(
+            &format!("Ablation: all-reduce algorithm, 100 reductions, {}", model.name),
+            &curves,
+        );
+        write_figure_csv(
+            &format!(
+                "ablation_reduction_{}",
+                model.name.split_whitespace().next().unwrap_or("m").to_lowercase()
+            ),
+            &curves,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 6: "Speedups of traditional and one-deep mergesort compared to
+//! sequential mergesort for 10,000,000 integers on the Intel Delta."
+//!
+//! Default runs 1,000,000 integers (pass `--full` for the paper's 10M);
+//! processor counts 1..64 on the Intel-Delta machine model. The expected
+//! shape: one-deep tracks perfect speedup at a substantial fraction;
+//! traditional saturates early because the split inspects all input at the
+//! root and the merge tree's final levels are sequential.
+
+use archetype_bench::{print_figure, random_i64s, split_blocks, write_figure_csv, Curve, SpeedupPoint};
+use archetype_dc::mergesort::OneDeepMergesort;
+use archetype_dc::skeleton::run_spmd as dc_spmd;
+use archetype_dc::traditional::{sort_flops, tree_mergesort_distributed_spmd};
+use archetype_mp::{run_spmd, CostMeter, MachineModel};
+
+fn main() {
+    let n: usize = if archetype_bench::full_scale() {
+        10_000_000
+    } else {
+        1_000_000
+    };
+    let model = MachineModel::intel_delta();
+    let ps = [1usize, 2, 4, 8, 16, 32, 64];
+
+    // Modeled sequential mergesort time on one Delta node.
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(sort_flops(n));
+    let t_seq = seq.elapsed();
+
+    let data = random_i64s(n, 0x5eed);
+
+    let mut one_deep = Vec::new();
+    let mut traditional = Vec::new();
+    for &p in &ps {
+        // One-deep: data pre-distributed in blocks (degenerate split).
+        let blocks = split_blocks(&data, p);
+        let t_od = run_spmd(p, model, |ctx| {
+            let alg = OneDeepMergesort::<i64>::with_oversample(32);
+            dc_spmd(&alg, ctx, blocks[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+        one_deep.push(SpeedupPoint::new(p, t_seq, t_od));
+
+        // Traditional: distributed input, local sorts, pairwise tree merge
+        // (concurrency decays toward the root).
+        let t_tr = run_spmd(p, model, |ctx| {
+            tree_mergesort_distributed_spmd(ctx, blocks[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+        traditional.push(SpeedupPoint::new(p, t_seq, t_tr));
+        eprintln!("P={p:>3} done");
+    }
+
+    let curves = vec![
+        Curve {
+            label: "one-deep mergesort".into(),
+            points: one_deep,
+        },
+        Curve {
+            label: "traditional mergesort".into(),
+            points: traditional,
+        },
+    ];
+    print_figure(
+        &format!("Figure 6: mergesort speedups, {n} integers, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("fig06_mergesort", &curves);
+}

@@ -1,0 +1,45 @@
+//! Figure 12: "Speedup of parallel 2-D FFT compared to sequential 2-D FFT
+//! … FFT repeated 10 times on the IBM SP. Disappointing performance is a
+//! result of too small a ratio of computation to communication."
+//!
+//! Default grid 256×256, repeated 10×, IBM-SP model, P up to 32 (pass
+//! `--full` for 512×512). Expected shape: speedup well below perfect,
+//! flattening in the single digits.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::apps::fft2d::{fft2d_seq_flops, fft2d_spmd};
+use archetype_mp::{run_spmd, CostMeter, MachineModel};
+use archetype_numerics::Complex;
+
+fn main() {
+    let n: usize = if archetype_bench::full_scale() { 512 } else { 256 };
+    let reps = 10usize;
+    let model = MachineModel::ibm_sp();
+    let ps = [1usize, 2, 4, 8, 16, 24, 32];
+
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(fft2d_seq_flops(n, n, reps));
+    let t_seq = seq.elapsed();
+
+    let mut points = Vec::new();
+    for &p in &ps {
+        let t_par = run_spmd(p, model, move |ctx| {
+            fft2d_spmd(ctx, n, n, reps, |r, c| {
+                Complex::new(((r * 31 + c * 17) % 101) as f64 / 101.0, 0.0)
+            });
+        })
+        .elapsed_virtual;
+        points.push(SpeedupPoint::new(p, t_seq, t_par));
+        eprintln!("P={p:>3} done");
+    }
+
+    let curves = vec![Curve {
+        label: "2-D FFT".into(),
+        points,
+    }];
+    print_figure(
+        &format!("Figure 12: 2-D FFT speedup, {n}x{n} grid, {reps} reps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("fig12_fft2d", &curves);
+}

@@ -1,0 +1,46 @@
+//! Figure 15: "Speedup of parallel Poisson solver compared to sequential
+//! Poisson solver … 100 steps on the IBM SP."
+//!
+//! Default grid 512×512 (pass `--full` for 1024×1024), exactly 100 Jacobi
+//! sweeps, IBM-SP model, near-square process grids up to P = 36.
+//! Expected shape: close to linear — the five-point stencil's
+//! computation-to-communication ratio is healthy at these sizes.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::apps::poisson::{poisson_spmd, poisson_sweep_flops, sine_problem};
+use archetype_mp::{run_spmd, CostMeter, MachineModel, ProcessGrid2};
+
+fn main() {
+    let n: usize = if archetype_bench::full_scale() { 1024 } else { 512 };
+    let steps = 100usize;
+    let model = MachineModel::ibm_sp();
+    let ps = [1usize, 2, 4, 8, 16, 25, 36];
+
+    // Force exactly `steps` sweeps: zero tolerance, capped iterations.
+    let spec = sine_problem(n, 0.0, steps);
+
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(steps as f64 * poisson_sweep_flops(n, n));
+    let t_seq = seq.elapsed();
+
+    let mut points = Vec::new();
+    for &p in &ps {
+        let pg = ProcessGrid2::near_square(p);
+        let t_par = run_spmd(p, model, move |ctx| {
+            poisson_spmd(ctx, &spec, pg);
+        })
+        .elapsed_virtual;
+        points.push(SpeedupPoint::new(p, t_seq, t_par));
+        eprintln!("P={p:>3} ({}x{}) done", pg.px, pg.py);
+    }
+
+    let curves = vec![Curve {
+        label: "Poisson solver".into(),
+        points,
+    }];
+    print_figure(
+        &format!("Figure 15: Poisson speedup, {n}x{n} grid, {steps} steps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("fig15_poisson", &curves);
+}

@@ -1,0 +1,54 @@
+//! Figure 16: "Speedup of 2-D CFD code … on the Intel Delta" — the
+//! compressible-flow production code, near-linear speedup to ~100
+//! processors.
+//!
+//! Default grid 384×192, 30 steps (pass `--full` for 1024×512, 50 steps),
+//! Intel-Delta model, near-square process grids up to P = 100.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::apps::cfd::{cfd_spmd, cfd_step_flops, shock_sine_init, CfdSpec};
+use archetype_mp::{run_spmd, CostMeter, MachineModel, ProcessGrid2};
+
+fn main() {
+    let (nx, ny, steps) = if archetype_bench::full_scale() {
+        (1024usize, 512usize, 50usize)
+    } else {
+        (384, 192, 30)
+    };
+    let model = MachineModel::intel_delta();
+    let ps = [1usize, 4, 9, 16, 25, 36, 64, 100];
+
+    let spec = CfdSpec {
+        nx,
+        ny,
+        lx: 1.0,
+        ly: 0.5,
+        cfl: 0.4,
+        steps,
+    };
+
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(steps as f64 * cfd_step_flops(nx, ny));
+    let t_seq = seq.elapsed();
+
+    let mut points = Vec::new();
+    for &p in &ps {
+        let pg = ProcessGrid2::near_square(p);
+        let t_par = run_spmd(p, model, move |ctx| {
+            cfd_spmd(ctx, &spec, pg, |i, j| shock_sine_init(&spec, i, j));
+        })
+        .elapsed_virtual;
+        points.push(SpeedupPoint::new(p, t_seq, t_par));
+        eprintln!("P={p:>3} ({}x{}) done", pg.px, pg.py);
+    }
+
+    let curves = vec![Curve {
+        label: "2-D CFD (compressible)".into(),
+        points,
+    }];
+    print_figure(
+        &format!("Figure 16: CFD speedup, {nx}x{ny} grid, {steps} steps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("fig16_cfd", &curves);
+}

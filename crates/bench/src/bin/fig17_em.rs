@@ -1,0 +1,49 @@
+//! Figure 17: "Speedup of parallel electromagnetics code … on the IBM SP.
+//! The decrease in performance for more than 16 processors results from
+//! the ratio of computation to communication dropping too low for
+//! efficiency."
+//!
+//! Default 32³ grid, 20 steps (pass `--full` for 64³, 100 steps), IBM-SP
+//! model, P = 1..18. Expected shape: speedup rises, peaks around the
+//! mid-teens, then flattens or declines.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_mesh::apps::em_fdtd::{em_spmd, em_step_flops, EmSpec};
+use archetype_mp::{run_spmd, CostMeter, MachineModel, ProcessGrid3};
+
+fn main() {
+    let (n, steps) = if archetype_bench::full_scale() {
+        (64usize, 100usize)
+    } else {
+        (32, 20)
+    };
+    let model = MachineModel::ibm_sp();
+    let ps = [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 27];
+
+    let spec = EmSpec::new(n, steps);
+
+    let mut seq = CostMeter::new(model);
+    seq.charge_flops(steps as f64 * em_step_flops(n, spec.monitor));
+    let t_seq = seq.elapsed();
+
+    let mut points = Vec::new();
+    for &p in &ps {
+        let pg = ProcessGrid3::near_cubic(p);
+        let t_par = run_spmd(p, model, move |ctx| {
+            em_spmd(ctx, &spec, pg);
+        })
+        .elapsed_virtual;
+        points.push(SpeedupPoint::new(p, t_seq, t_par));
+        eprintln!("P={p:>3} ({}x{}x{}) done", pg.px, pg.py, pg.pz);
+    }
+
+    let curves = vec![Curve {
+        label: "3-D FDTD electromagnetics".into(),
+        points,
+    }];
+    print_figure(
+        &format!("Figure 17: EM speedup, {n}^3 grid, {steps} steps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("fig17_em", &curves);
+}

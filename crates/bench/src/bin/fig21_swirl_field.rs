@@ -1,0 +1,40 @@
+//! Figure 21: sample output of the spectral code — "azimuthal velocity in
+//! a swirling flow."
+//!
+//! Runs the axisymmetric swirl kernel on the SPMD solver and writes the
+//! azimuthal-velocity field `u_θ(r, θ)` as a PGM image (r radial axis,
+//! θ azimuthal axis) into `target/figures/`.
+
+use archetype_bench::figures_dir;
+use archetype_mesh::apps::spectral_flow::{azimuthal_velocity, swirl_spmd, SwirlSpec};
+use archetype_mesh::io::write_pgm;
+use archetype_mp::{run_spmd, MachineModel};
+
+fn main() {
+    let (nr, ntheta) = if archetype_bench::full_scale() {
+        (256usize, 512usize)
+    } else {
+        (128, 256)
+    };
+    let spec = SwirlSpec {
+        nr,
+        ntheta,
+        rmax: 1.0,
+        nu: 5e-4,
+        dt: 2e-4,
+        steps: 400,
+    };
+    let out = run_spmd(4, MachineModel::ibm_sp(), move |ctx| swirl_spmd(ctx, &spec));
+    let u = out.results[0].as_ref().expect("root gathers").clone();
+    let v = azimuthal_velocity(&spec, &u);
+
+    let dir = figures_dir();
+    write_pgm(&dir.join("fig21_azimuthal_velocity.pgm"), &v, nr, ntheta)
+        .expect("write PGM");
+    println!(
+        "azimuthal velocity range [{:.3}, {:.3}]; image written to {}",
+        v.iter().copied().fold(f64::INFINITY, f64::min),
+        v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        dir.display()
+    );
+}

@@ -1,0 +1,86 @@
+//! Validation of the archetype performance models (paper §1.1: archetypes
+//! as a basis for performance models): closed-form predictions vs the
+//! virtual-time simulator, for the Poisson stencil and one-deep mergesort.
+
+use archetype_bench::{print_figure, write_figure_csv, Curve, SpeedupPoint};
+use archetype_dc::mergesort::OneDeepMergesort;
+use archetype_dc::perfmodel::predict_one_deep_mergesort;
+use archetype_dc::skeleton::run_spmd as dc_spmd;
+use archetype_mesh::apps::poisson::{poisson_spmd, sine_problem};
+use archetype_mesh::perfmodel::predict_stencil_step;
+use archetype_mp::{run_spmd, MachineModel, ProcessGrid2};
+
+fn main() {
+    let model = MachineModel::ibm_sp();
+
+    // --- Poisson stencil ---------------------------------------------------
+    let n = 256;
+    let steps = 20;
+    let spec = sine_problem(n, 0.0, steps);
+    let ps = [1usize, 2, 4, 8, 9, 16, 25];
+    let mut sim_curve = Vec::new();
+    let mut pred_curve = Vec::new();
+    for &p in &ps {
+        let pg = ProcessGrid2::near_square(p);
+        let sim = run_spmd(p, model, move |ctx| {
+            poisson_spmd(ctx, &spec, pg);
+        })
+        .elapsed_virtual;
+        let pred = steps as f64 * predict_stencil_step(&model, n, n, 8, pg, 8.0, 1, 1);
+        // Report as "ratio to simulation" in the speedup column.
+        sim_curve.push(SpeedupPoint::new(p, sim, sim));
+        pred_curve.push(SpeedupPoint::new(p, pred, sim));
+    }
+    let curves = vec![
+        Curve {
+            label: "simulated (reference)".into(),
+            points: sim_curve,
+        },
+        Curve {
+            label: "predicted/simulated".into(),
+            points: pred_curve,
+        },
+    ];
+    print_figure(
+        &format!("Performance model: Poisson {n}x{n}, {steps} sweeps, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("perfmodel_poisson", &curves);
+
+    // --- One-deep mergesort --------------------------------------------------
+    let nitems = 200_000;
+    let data: Vec<i64> = (0..nitems as i64).map(|i| (i * 48271) % 99991).collect();
+    let mut sim_curve = Vec::new();
+    let mut pred_curve = Vec::new();
+    for &p in &[2usize, 4, 8, 16, 32] {
+        let blocks: Vec<Vec<i64>> = (0..p)
+            .map(|r| {
+                let (s, l) = archetype_mp::topology::block_range(nitems, p, r);
+                data[s..s + l].to_vec()
+            })
+            .collect();
+        let sim = run_spmd(p, model, |ctx| {
+            let alg = OneDeepMergesort::<i64>::with_oversample(16);
+            dc_spmd(&alg, ctx, blocks[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+        let pred = predict_one_deep_mergesort(&model, nitems, p, 16);
+        sim_curve.push(SpeedupPoint::new(p, sim, sim));
+        pred_curve.push(SpeedupPoint::new(p, pred, sim));
+    }
+    let curves = vec![
+        Curve {
+            label: "simulated (reference)".into(),
+            points: sim_curve,
+        },
+        Curve {
+            label: "predicted/simulated".into(),
+            points: pred_curve,
+        },
+    ];
+    print_figure(
+        &format!("Performance model: one-deep mergesort, {nitems} items, {}", model.name),
+        &curves,
+    );
+    write_figure_csv("perfmodel_mergesort", &curves);
+}

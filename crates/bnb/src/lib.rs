@@ -1,0 +1,30 @@
+//! # archetype-bnb — the branch-and-bound archetype
+//!
+//! The paper's future-work list (§7) calls for **nondeterministic
+//! archetypes**: "some problems are better suited to nondeterministic
+//! archetypes — for example branch and bound — so our library of
+//! archetypes should include such archetypes as well." This crate is that
+//! archetype: a maximization branch-and-bound skeleton whose *search
+//! order* (and hence communication schedule and node count) is
+//! nondeterministic under parallel execution, while the *result* — the
+//! optimum — is deterministic, which is exactly the weaker guarantee the
+//! paper contrasts with its deterministic archetypes.
+//!
+//! Three drivers execute one [`BranchAndBound`] problem description:
+//!
+//! - [`solve_sequential`]: best-first search with a priority queue — the
+//!   reference oracle;
+//! - [`solve_shared`]: shared-memory parallel search (rayon) with an
+//!   atomically shared incumbent;
+//! - [`solve_spmd`]: distributed search over the message-passing
+//!   substrate — the frontier is statically seeded round-robin, each round
+//!   every rank expands a batch from its local frontier, and a
+//!   recursive-doubling all-reduce both shares the incumbent bound and
+//!   decides global termination (the archetype's communication pattern:
+//!   reduction doubles as termination detection).
+
+pub mod knapsack;
+pub mod skeleton;
+
+pub use knapsack::{knapsack_dp, Knapsack};
+pub use skeleton::{solve_sequential, solve_shared, solve_spmd, BnbStats, BranchAndBound};

@@ -1,0 +1,141 @@
+//! Archetype and phase metadata.
+//!
+//! The paper treats an archetype as a nameable design artifact: a
+//! computational pattern plus a parallelization strategy, with a phase
+//! structure (split/solve/merge; grid-op/row-op/reduction/…) from which the
+//! dataflow and communication pattern is *derived*. These types give that
+//! artifact a concrete representation used by documentation, tracing, and
+//! tests that assert an application follows its archetype's pattern.
+
+/// The kinds of phases/operations that appear in the two archetypes of the
+/// paper (and compose into their dataflow patterns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// One-deep D&C: compute split parameters and partition the input.
+    Split,
+    /// One-deep D&C: solve each subproblem independently (sequentially).
+    Solve,
+    /// One-deep D&C: repartition subsolutions and merge locally.
+    Merge,
+    /// Mesh-spectral: the same operation applied at every grid point
+    /// (optionally reading neighbours — which requires ghost exchange).
+    GridOp,
+    /// Mesh-spectral: independent operation on every row.
+    RowOp,
+    /// Mesh-spectral: independent operation on every column.
+    ColOp,
+    /// Mesh-spectral: associative combination of all grid values.
+    Reduction,
+    /// Mesh-spectral: file input/output.
+    Io,
+    /// Communication inserted by the archetype: redistribution,
+    /// boundary exchange, broadcast of globals.
+    Communication,
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PhaseKind::Split => "split",
+            PhaseKind::Solve => "solve",
+            PhaseKind::Merge => "merge",
+            PhaseKind::GridOp => "grid-op",
+            PhaseKind::RowOp => "row-op",
+            PhaseKind::ColOp => "col-op",
+            PhaseKind::Reduction => "reduction",
+            PhaseKind::Io => "io",
+            PhaseKind::Communication => "communication",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One phase of an archetype-structured computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// What kind of phase this is.
+    pub kind: PhaseKind,
+    /// Human-readable label, e.g. `"local sort"` or `"boundary exchange"`.
+    pub label: String,
+}
+
+impl Phase {
+    /// Construct a phase.
+    pub fn new(kind: PhaseKind, label: impl Into<String>) -> Self {
+        Phase {
+            kind,
+            label: label.into(),
+        }
+    }
+}
+
+/// Static description of an archetype: its name and characteristic phase
+/// vocabulary. Used in documentation output and by `describe()` helpers on
+/// the application types.
+#[derive(Clone, Debug)]
+pub struct ArchetypeInfo {
+    /// Archetype name, e.g. `"one-deep divide-and-conquer"`.
+    pub name: &'static str,
+    /// The phase kinds this archetype composes.
+    pub phases: &'static [PhaseKind],
+    /// The communication operations its dataflow pattern requires.
+    pub communication: &'static [&'static str],
+}
+
+/// The one-deep divide-and-conquer archetype (paper §2).
+pub const ONE_DEEP_DC: ArchetypeInfo = ArchetypeInfo {
+    name: "one-deep divide-and-conquer",
+    phases: &[PhaseKind::Split, PhaseKind::Solve, PhaseKind::Merge],
+    communication: &[
+        "all-to-all redistribution (split and merge phases)",
+        "gather+broadcast or all-to-all before sequential parameter computation",
+        "broadcast after parameter computation",
+    ],
+};
+
+/// The mesh-spectral archetype (paper §3).
+pub const MESH_SPECTRAL: ArchetypeInfo = ArchetypeInfo {
+    name: "mesh-spectral",
+    phases: &[
+        PhaseKind::GridOp,
+        PhaseKind::RowOp,
+        PhaseKind::ColOp,
+        PhaseKind::Reduction,
+        PhaseKind::Io,
+    ],
+    communication: &[
+        "grid redistribution (rows <-> columns)",
+        "boundary (ghost) exchange",
+        "broadcast of global data",
+        "reduction (recursive doubling / all-to-one / one-to-all)",
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archetype_constants_are_consistent() {
+        assert!(ONE_DEEP_DC.phases.contains(&PhaseKind::Split));
+        assert!(ONE_DEEP_DC.phases.contains(&PhaseKind::Solve));
+        assert!(ONE_DEEP_DC.phases.contains(&PhaseKind::Merge));
+        assert!(MESH_SPECTRAL.phases.contains(&PhaseKind::GridOp));
+        assert!(!MESH_SPECTRAL.phases.contains(&PhaseKind::Split));
+        assert!(!ONE_DEEP_DC.communication.is_empty());
+    }
+
+    #[test]
+    fn phase_kind_display_names() {
+        assert_eq!(PhaseKind::Split.to_string(), "split");
+        assert_eq!(PhaseKind::GridOp.to_string(), "grid-op");
+        assert_eq!(PhaseKind::Communication.to_string(), "communication");
+    }
+
+    #[test]
+    fn phase_constructor_stores_label() {
+        let p = Phase::new(PhaseKind::Solve, "local sort");
+        assert_eq!(p.kind, PhaseKind::Solve);
+        assert_eq!(p.label, "local sort");
+    }
+}

@@ -1,0 +1,59 @@
+//! Execution modes for archetype "version 1" programs.
+
+/// How the exploitable concurrency of an archetype program is executed.
+///
+/// The paper's development strategy (§1.2) stresses that the initial
+/// archetype-based program can be run sequentially "by converting any
+/// exploitable concurrency constructs to sequential equivalents", and that
+/// for deterministic programs this yields the same results as parallel
+/// execution. `ExecutionMode` is that switch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Run `parfor`/`forall` bodies as ordinary loops (the paper's
+    /// "replace each `parfor` with a `for`"). Deterministic; the mode used
+    /// for debugging and as the reference in equivalence tests.
+    Sequential,
+    /// Run `parfor`/`forall` bodies on the rayon global thread pool.
+    #[default]
+    Parallel,
+}
+
+impl ExecutionMode {
+    /// True if this mode exploits concurrency.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, ExecutionMode::Parallel)
+    }
+
+    /// Both modes, in the order (Sequential, Parallel); handy for
+    /// equivalence tests.
+    pub fn both() -> [ExecutionMode; 2] {
+        [ExecutionMode::Sequential, ExecutionMode::Parallel]
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Sequential => write!(f, "sequential"),
+            ExecutionMode::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_parallel() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Parallel);
+        assert!(ExecutionMode::Parallel.is_parallel());
+        assert!(!ExecutionMode::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(ExecutionMode::Sequential.to_string(), "sequential");
+        assert_eq!(ExecutionMode::Parallel.to_string(), "parallel");
+    }
+}

@@ -1,0 +1,108 @@
+//! Associative reduction operators.
+//!
+//! The mesh-spectral archetype requires reduction operators to be
+//! associative (or treated as such, accepting rounding nondeterminism for
+//! floating-point addition — paper §3.2). [`ReduceOp`] packages an operator
+//! with its identity so reductions can be expressed once and executed by
+//! any backend: a sequential fold, a rayon reduce, or recursive doubling
+//! over message passing.
+
+/// An associative binary operator with identity, usable by every backend.
+pub trait ReduceOp<T>: Sync {
+    /// The operator's identity element (`combine(identity(), x) == x`).
+    fn identity(&self) -> T;
+    /// The associative combination.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Sum of numeric values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sum;
+
+/// Maximum of partially ordered values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Max;
+
+/// Minimum of partially ordered values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Min;
+
+macro_rules! impl_ops_for_int {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for Sum {
+            fn identity(&self) -> $t { 0 }
+            fn combine(&self, a: $t, b: $t) -> $t { a + b }
+        }
+        impl ReduceOp<$t> for Max {
+            fn identity(&self) -> $t { <$t>::MIN }
+            fn combine(&self, a: $t, b: $t) -> $t { a.max(b) }
+        }
+        impl ReduceOp<$t> for Min {
+            fn identity(&self) -> $t { <$t>::MAX }
+            fn combine(&self, a: $t, b: $t) -> $t { a.min(b) }
+        }
+    )*};
+}
+impl_ops_for_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_ops_for_float {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for Sum {
+            fn identity(&self) -> $t { 0.0 }
+            fn combine(&self, a: $t, b: $t) -> $t { a + b }
+        }
+        impl ReduceOp<$t> for Max {
+            fn identity(&self) -> $t { <$t>::NEG_INFINITY }
+            fn combine(&self, a: $t, b: $t) -> $t { a.max(b) }
+        }
+        impl ReduceOp<$t> for Min {
+            fn identity(&self) -> $t { <$t>::INFINITY }
+            fn combine(&self, a: $t, b: $t) -> $t { a.min(b) }
+        }
+    )*};
+}
+impl_ops_for_float!(f32, f64);
+
+/// Fold a slice with a [`ReduceOp`] in left-to-right order — the reference
+/// ordering used to check distributed reductions in tests.
+pub fn associative_fold<T: Clone, Op: ReduceOp<T>>(op: &Op, values: &[T]) -> T {
+    values
+        .iter()
+        .cloned()
+        .fold(op.identity(), |a, b| op.combine(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_identity_and_combine() {
+        assert_eq!(ReduceOp::<i64>::identity(&Sum), 0);
+        assert_eq!(Sum.combine(3i64, 4i64), 7);
+        assert_eq!(Sum.combine(1.5f64, 2.5f64), 4.0);
+    }
+
+    #[test]
+    fn max_min_identities_are_absorbing() {
+        assert_eq!(Max.combine(ReduceOp::<i32>::identity(&Max), 5i32), 5);
+        assert_eq!(Min.combine(ReduceOp::<i32>::identity(&Min), 5i32), 5);
+        assert_eq!(Max.combine(ReduceOp::<f64>::identity(&Max), -3.0f64), -3.0);
+        assert_eq!(Min.combine(ReduceOp::<f64>::identity(&Min), 3.0f64), 3.0);
+    }
+
+    #[test]
+    fn fold_matches_manual() {
+        let v = [3i64, -1, 7, 7, 0];
+        assert_eq!(associative_fold(&Sum, &v), 16);
+        assert_eq!(associative_fold(&Max, &v), 7);
+        assert_eq!(associative_fold(&Min, &v), -1);
+    }
+
+    #[test]
+    fn fold_of_empty_is_identity() {
+        let v: [f64; 0] = [];
+        assert_eq!(associative_fold(&Sum, &v), 0.0);
+        assert_eq!(associative_fold(&Max, &v), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's exploitable-concurrency constructs.
+//!
+//! `parfor` is CC++'s parallel loop (paper Figure 4); `forall` is HPF's
+//! (Figures 10 and 13). The archetype contract is that iterations are
+//! **independent**: the body may not observe another iteration's effects.
+//! Rust's borrow rules enforce the data-race part of that contract at
+//! compile time; what remains for the programmer is not to smuggle
+//! cross-iteration dependencies through interior mutability or channels.
+
+use rayon::prelude::*;
+
+use crate::mode::ExecutionMode;
+
+/// Run `body(i)` for every `i` in `0..n`, sequentially or in parallel.
+/// Equivalent to the paper's `parfor (i = 0; i < n; i++)`.
+pub fn parfor<F>(mode: ExecutionMode, n: usize, body: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    match mode {
+        ExecutionMode::Sequential => (0..n).for_each(body),
+        ExecutionMode::Parallel => (0..n).into_par_iter().for_each(body),
+    }
+}
+
+/// Alias for [`parfor`] matching HPF's `forall` vocabulary used in the
+/// mesh-spectral pseudocode.
+pub fn forall<F>(mode: ExecutionMode, n: usize, body: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    parfor(mode, n, body)
+}
+
+/// Run `body(i)` for every `i` in `0..n` and collect the results in index
+/// order. Both modes return identical vectors for deterministic bodies.
+pub fn parfor_map<F, R>(mode: ExecutionMode, n: usize, body: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync + Send,
+    R: Send,
+{
+    match mode {
+        ExecutionMode::Sequential => (0..n).map(body).collect(),
+        ExecutionMode::Parallel => (0..n).into_par_iter().map(body).collect(),
+    }
+}
+
+/// Apply `body(chunk_index, chunk)` to disjoint mutable chunks of `data`
+/// of size `chunk_len` (the final chunk may be shorter). This is the
+/// "each process operates on its local section" pattern expressed on
+/// shared memory.
+pub fn parfor_chunks<T, F>(mode: ExecutionMode, data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    match mode {
+        ExecutionMode::Sequential => {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                body(i, chunk);
+            }
+        }
+        ExecutionMode::Parallel => {
+            data.par_chunks_mut(chunk_len)
+                .enumerate()
+                .for_each(|(i, chunk)| body(i, chunk));
+        }
+    }
+}
+
+/// Consume `items`, applying `body(index, item)` to each, and collect the
+/// results in index order. The moving equivalent of [`parfor_map`], used by
+/// skeleton drivers that pass ownership of local blocks through phases.
+pub fn parfor_map_vec<T, R, F>(mode: ExecutionMode, items: Vec<T>, body: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync + Send,
+{
+    match mode {
+        ExecutionMode::Sequential => items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| body(i, t))
+            .collect(),
+        ExecutionMode::Parallel => items
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, t)| body(i, t))
+            .collect(),
+    }
+}
+
+/// Reduce `body(0) ⊕ body(1) ⊕ … ⊕ body(n−1)` with the associative
+/// operator `op` and its `identity`.
+///
+/// For *exactly* associative operators (integer sum, max, min) the two
+/// modes agree bit-for-bit. For floating-point sums they may differ by
+/// rounding, the nondeterminism the paper explicitly allows for reductions
+/// ("e.g. floating point addition, if some degree of nondeterminism is
+/// acceptable", §3.2).
+pub fn parfor_reduce<F, R, Op>(mode: ExecutionMode, n: usize, identity: R, body: F, op: Op) -> R
+where
+    F: Fn(usize) -> R + Sync + Send,
+    R: Send + Sync + Clone,
+    Op: Fn(R, R) -> R + Sync + Send,
+{
+    match mode {
+        ExecutionMode::Sequential => (0..n).map(body).fold(identity, &op),
+        ExecutionMode::Parallel => (0..n)
+            .into_par_iter()
+            .map(body)
+            .reduce(|| identity.clone(), &op),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn parfor_runs_every_iteration_once() {
+        for mode in ExecutionMode::both() {
+            let hits = AtomicU64::new(0);
+            parfor(mode, 1000, |_i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 1000, "{mode}");
+        }
+    }
+
+    #[test]
+    fn parfor_map_preserves_index_order() {
+        for mode in ExecutionMode::both() {
+            let v = parfor_map(mode, 257, |i| i as i64 - 3);
+            assert_eq!(v.len(), 257);
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i as i64 - 3);
+            }
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_deterministic_body() {
+        let seq = parfor_map(ExecutionMode::Sequential, 4096, |i| (i * 2654435761) % 97);
+        let par = parfor_map(ExecutionMode::Parallel, 4096, |i| (i * 2654435761) % 97);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parfor_chunks_partitions_disjointly() {
+        for mode in ExecutionMode::both() {
+            let mut data = vec![0u32; 103];
+            parfor_chunks(mode, &mut data, 10, |ci, chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1 + ci as u32;
+                }
+            });
+            // Every element written exactly once, by its chunk's index.
+            for (i, x) in data.iter().enumerate() {
+                assert_eq!(*x, 1 + (i / 10) as u32, "{mode} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parfor_chunks_handles_short_tail() {
+        let mut data = vec![0u8; 7];
+        parfor_chunks(ExecutionMode::Parallel, &mut data, 3, |ci, chunk| {
+            assert!(chunk.len() == 3 || (ci == 2 && chunk.len() == 1));
+        });
+    }
+
+    #[test]
+    fn reduce_integer_sum_agrees_across_modes() {
+        for n in [0usize, 1, 2, 1000] {
+            let seq = parfor_reduce(ExecutionMode::Sequential, n, 0u64, |i| i as u64, |a, b| a + b);
+            let par = parfor_reduce(ExecutionMode::Parallel, n, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(seq, par, "n={n}");
+            assert_eq!(seq, (n as u64).saturating_sub(1) * n as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn reduce_max_agrees_across_modes() {
+        let body = |i: usize| ((i * 37) % 101) as i64;
+        let seq = parfor_reduce(ExecutionMode::Sequential, 500, i64::MIN, body, i64::max);
+        let par = parfor_reduce(ExecutionMode::Parallel, 500, i64::MIN, body, i64::max);
+        assert_eq!(seq, par);
+        assert_eq!(seq, 100);
+    }
+
+    #[test]
+    fn reduce_empty_range_returns_identity() {
+        let r = parfor_reduce(ExecutionMode::Parallel, 0, 42i32, |_| 0, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,96 @@
+//! Phase tracing: record the sequence of archetype phases a program
+//! executes, so tests can assert the program follows its archetype's
+//! dataflow pattern (e.g. mergesort = solve, then merge with its
+//! parameter-computation / repartition / local-merge steps, and no split).
+
+use std::sync::Mutex;
+
+use crate::archetype::{Phase, PhaseKind};
+
+/// A thread-safe recorder of executed phases.
+///
+/// Application drivers accept an optional `&PhaseTrace` and record each
+/// phase as they enter it; tests then compare against the archetype's
+/// expected pattern. The mutex is uncontended in sequential runs and cheap
+/// relative to phase granularity in parallel ones.
+#[derive(Debug, Default)]
+pub struct PhaseTrace {
+    phases: Mutex<Vec<Phase>>,
+}
+
+impl PhaseTrace {
+    /// New, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record entering a phase.
+    pub fn record(&self, kind: PhaseKind, label: impl Into<String>) {
+        self.phases.lock().unwrap().push(Phase::new(kind, label));
+    }
+
+    /// Snapshot of all recorded phases, in order.
+    pub fn phases(&self) -> Vec<Phase> {
+        self.phases.lock().unwrap().clone()
+    }
+
+    /// The sequence of recorded phase kinds.
+    pub fn kinds(&self) -> Vec<PhaseKind> {
+        self.phases.lock().unwrap().iter().map(|p| p.kind).collect()
+    }
+
+    /// Number of phases of the given kind.
+    pub fn count(&self, kind: PhaseKind) -> usize {
+        self.phases
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|p| p.kind == kind)
+            .count()
+    }
+
+    /// True if the recorded kinds equal `expected` exactly.
+    pub fn matches(&self, expected: &[PhaseKind]) -> bool {
+        self.kinds() == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let t = PhaseTrace::new();
+        t.record(PhaseKind::Solve, "local sort");
+        t.record(PhaseKind::Merge, "merge");
+        assert!(t.matches(&[PhaseKind::Solve, PhaseKind::Merge]));
+        assert_eq!(t.phases()[0].label, "local sort");
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let t = PhaseTrace::new();
+        t.record(PhaseKind::GridOp, "a");
+        t.record(PhaseKind::GridOp, "b");
+        t.record(PhaseKind::Reduction, "max");
+        assert_eq!(t.count(PhaseKind::GridOp), 2);
+        assert_eq!(t.count(PhaseKind::Reduction), 1);
+        assert_eq!(t.count(PhaseKind::Io), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = PhaseTrace::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        t.record(PhaseKind::GridOp, "x");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.count(PhaseKind::GridOp), 400);
+    }
+}

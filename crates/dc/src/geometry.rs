@@ -1,0 +1,196 @@
+//! Plane geometry primitives shared by the skyline, convex-hull, and
+//! closest-pair applications.
+
+use archetype_mp::impl_fixed_size;
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl_fixed_size!(Point);
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, o: &Point) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Lexicographic (x, then y) comparison for sorting point sets.
+pub fn cmp_xy(a: &Point, b: &Point) -> std::cmp::Ordering {
+    a.x.partial_cmp(&b.x)
+        .expect("non-NaN coordinates")
+        .then(a.y.partial_cmp(&b.y).expect("non-NaN coordinates"))
+}
+
+/// Twice the signed area of triangle (o, a, b): positive for a left turn.
+pub fn cross(o: &Point, a: &Point, b: &Point) -> f64 {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+/// A building of the skyline problem: a rectangle `[left, right] × [0, height]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Building {
+    /// Left edge.
+    pub left: f64,
+    /// Roof height.
+    pub height: f64,
+    /// Right edge.
+    pub right: f64,
+}
+
+impl_fixed_size!(Building);
+
+impl Building {
+    /// Construct a building; panics if `left >= right` or `height < 0`.
+    pub fn new(left: f64, height: f64, right: f64) -> Self {
+        assert!(left < right, "building must have positive width");
+        assert!(height >= 0.0, "building height must be non-negative");
+        Building {
+            left,
+            height,
+            right,
+        }
+    }
+}
+
+/// One vertex of a skyline: "at `x` the height becomes `h`".
+///
+/// A well-formed skyline has strictly increasing `x`, no two consecutive
+/// equal heights, and a final height of zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkyPoint {
+    /// Horizontal position of the height change.
+    pub x: f64,
+    /// New height from this position (until the next point).
+    pub h: f64,
+}
+
+impl_fixed_size!(SkyPoint);
+
+impl SkyPoint {
+    /// Construct a skyline vertex.
+    pub const fn new(x: f64, h: f64) -> Self {
+        SkyPoint { x, h }
+    }
+}
+
+/// Canonicalize a piecewise-constant height profile: sort order is assumed,
+/// removes consecutive points with equal height and duplicate positions
+/// (keeping the last height set at a position).
+pub fn canonicalize_skyline(points: &[SkyPoint]) -> Vec<SkyPoint> {
+    let mut out: Vec<SkyPoint> = Vec::with_capacity(points.len());
+    for p in points {
+        if let Some(last) = out.last_mut() {
+            if last.x == p.x {
+                last.h = p.h; // later point at same x wins
+                // May now equal the height before it; fix below.
+                if out.len() >= 2 && out[out.len() - 2].h == out[out.len() - 1].h {
+                    out.pop();
+                }
+                continue;
+            }
+            if last.h == p.h {
+                continue;
+            }
+        } else if p.h == 0.0 {
+            continue; // leading ground-level point carries no information
+        }
+        out.push(*p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let o = Point::new(0.0, 0.0);
+        let a = Point::new(1.0, 0.0);
+        let left = Point::new(1.0, 1.0);
+        let right = Point::new(1.0, -1.0);
+        assert!(cross(&o, &a, &left) > 0.0);
+        assert!(cross(&o, &a, &right) < 0.0);
+        assert_eq!(cross(&o, &a, &Point::new(2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn cmp_xy_orders_lexicographically() {
+        let mut pts = [Point::new(1.0, 2.0),
+            Point::new(0.0, 5.0),
+            Point::new(1.0, -1.0)];
+        pts.sort_by(cmp_xy);
+        assert_eq!(pts[0], Point::new(0.0, 5.0));
+        assert_eq!(pts[1], Point::new(1.0, -1.0));
+        assert_eq!(pts[2], Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_building_rejected() {
+        Building::new(1.0, 5.0, 1.0);
+    }
+
+    #[test]
+    fn canonicalize_removes_redundant_points() {
+        let raw = vec![
+            SkyPoint::new(0.0, 0.0), // leading ground level: dropped
+            SkyPoint::new(1.0, 3.0),
+            SkyPoint::new(2.0, 3.0), // same height as previous: dropped
+            SkyPoint::new(3.0, 5.0),
+            SkyPoint::new(3.0, 4.0), // same x: last wins
+            SkyPoint::new(4.0, 0.0),
+        ];
+        let c = canonicalize_skyline(&raw);
+        assert_eq!(
+            c,
+            vec![
+                SkyPoint::new(1.0, 3.0),
+                SkyPoint::new(3.0, 4.0),
+                SkyPoint::new(4.0, 0.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn canonicalize_collapses_same_x_to_equal_height() {
+        // After "last wins" at equal x, a now-redundant equal height with
+        // the previous point must also collapse.
+        let raw = vec![
+            SkyPoint::new(1.0, 3.0),
+            SkyPoint::new(2.0, 5.0),
+            SkyPoint::new(2.0, 3.0), // back to 3.0 == height before x=2
+        ];
+        let c = canonicalize_skyline(&raw);
+        assert_eq!(c, vec![SkyPoint::new(1.0, 3.0)]);
+    }
+
+    #[test]
+    fn canonicalize_empty_and_trivial() {
+        assert!(canonicalize_skyline(&[]).is_empty());
+        let one = vec![SkyPoint::new(1.0, 2.0)];
+        assert_eq!(canonicalize_skyline(&one), one);
+    }
+}

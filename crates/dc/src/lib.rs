@@ -1,0 +1,46 @@
+//! # archetype-dc — the one-deep divide-and-conquer archetype
+//!
+//! Implementation of §2 of Massingill & Chandy, "Parallel Program
+//! Archetypes" (IPPS 1999): the **one-deep divide-and-conquer** archetype —
+//! a single level of split → solve → merge across `N` processes — together
+//! with the **traditional recursive** divide-and-conquer baseline it is
+//! compared against in the paper's Figure 6, and the paper's applications:
+//!
+//! | Application | Split | Merge | Paper section |
+//! |---|---|---|---|
+//! | [`mergesort::OneDeepMergesort`] | degenerate | splitters + redistribution + local merge | §2.4 |
+//! | [`quicksort::OneDeepQuicksort`] | pivots + redistribution | degenerate (concatenation) | §2.5.2 |
+//! | [`skyline::OneDeepSkyline`] | degenerate | vertical cut lines + redistribution + skyline merge | §2.5.1 |
+//! | [`hull::OneDeepHull`] | x-slab partition | candidate exchange + final hull | §2.5 (named) |
+//! | [`closest::OneDeepClosest`] | x-slab partition | δ-strip exchange + cross-pair check | §2.5 (named) |
+//!
+//! Every algorithm is expressed once against the [`skeleton::OneDeep`]
+//! trait and can be executed three ways with identical results (the
+//! paper's semantics-preservation property):
+//!
+//! 1. [`skeleton::run_shared`] with [`archetype_core::ExecutionMode::Sequential`] —
+//!    the debuggable "version 1" run as plain loops;
+//! 2. [`skeleton::run_shared`] with `ExecutionMode::Parallel` — version 1
+//!    on the rayon thread pool;
+//! 3. [`skeleton::run_spmd`] inside [`archetype_mp::run_spmd`] — the
+//!    distributed-memory "version 2" with all-to-all redistribution,
+//!    costed against the virtual clock for speedup studies.
+
+pub mod closest;
+pub mod geometry;
+pub mod hull;
+pub mod mergesort;
+pub mod perfmodel;
+pub mod quicksort;
+pub mod skeleton;
+pub mod skyline;
+pub mod traditional;
+
+pub use closest::{global_closest, sequential_closest, OneDeepClosest};
+pub use geometry::{Building, Point, SkyPoint};
+pub use hull::{convex_hull, OneDeepHull};
+pub use mergesort::{sequential_mergesort, OneDeepMergesort};
+pub use quicksort::OneDeepQuicksort;
+pub use skeleton::{run_shared, run_spmd, OneDeep};
+pub use skyline::{concat_skyline, sequential_skyline, OneDeepSkyline};
+pub use traditional::{run_recursive, tree_mergesort_distributed_spmd, tree_mergesort_spmd, Recursive};

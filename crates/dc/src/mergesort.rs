@@ -1,0 +1,343 @@
+//! One-deep mergesort (paper §2.4, Figures 4–5) — the archetype's primary
+//! application, plus the sequential reference algorithm.
+//!
+//! The one-deep version:
+//! - **split** is degenerate ("the initial distribution of data among
+//!   processes is taken to be the split");
+//! - **solve** sorts each local block with an efficient sequential sort;
+//! - **merge** computes `N−1` splitters from regularly sampled local data
+//!   (parallel sorting by regular sampling, the paper's cited approach),
+//!   splits each local sorted run at the splitters, redistributes the
+//!   sublists all-to-all so process `i` receives every element in the
+//!   `i`-th key range, and merges the received sorted runs locally.
+//!
+//! After the algorithm, process `i`'s block is sorted and entirely between
+//! its neighbours' blocks, so the concatenation of blocks is sorted.
+
+use std::marker::PhantomData;
+
+use archetype_mp::FixedSize;
+
+use crate::skeleton::OneDeep;
+use crate::traditional::{merge_flops, merge_two, sort_flops};
+
+/// Elements sortable by the one-deep mergesort: POD, totally ordered.
+pub trait SortItem: FixedSize + Ord + Send + Sync {}
+impl<T: FixedSize + Ord + Send + Sync> SortItem for T {}
+
+/// The one-deep mergesort algorithm.
+///
+/// `oversample` is the number of regular samples taken per process for
+/// splitter computation; `nparts · oversample` samples are sorted
+/// centrally (replicated), from which `nparts − 1` splitters are chosen.
+/// Larger values balance better at slightly higher parameter cost.
+pub struct OneDeepMergesort<T> {
+    /// Samples per process used to compute splitters.
+    pub oversample: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> OneDeepMergesort<T> {
+    /// With the default oversampling factor (8 samples per process).
+    pub fn new() -> Self {
+        Self::with_oversample(8)
+    }
+
+    /// With an explicit oversampling factor (≥ 1).
+    pub fn with_oversample(oversample: usize) -> Self {
+        assert!(oversample >= 1);
+        OneDeepMergesort {
+            oversample,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for OneDeepMergesort<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evenly spaced sample of `k` elements from a slice (fewer if the slice
+/// is shorter).
+fn regular_sample<T: Copy>(data: &[T], k: usize) -> Vec<T> {
+    if data.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(data.len());
+    // Midpoints of k equal strata: index (2i+1)·len / 2k < len.
+    (0..k)
+        .map(|i| data[((2 * i + 1) * data.len()) / (2 * k)])
+        .collect()
+}
+
+/// Merge `k` sorted runs into one sorted vector (tournament by repeated
+/// pairwise merging, `O(n log k)`).
+pub fn merge_k<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().expect("one run remains")
+}
+
+impl<T: SortItem> OneDeep for OneDeepMergesort<T> {
+    type In = Vec<T>;
+    type Mid = Vec<T>;
+    type Out = Vec<T>;
+    type SplitParams = ();
+    type MergeParams = Vec<T>;
+    type SplitSample = ();
+    type MergeSample = Vec<T>;
+
+    // Degenerate split: the initial distribution *is* the split.
+    fn split_sample(&self, _local: &Vec<T>) {}
+    fn split_params(&self, _samples: &[()], _nparts: usize) {}
+    fn split_partition(
+        &self,
+        local: Vec<T>,
+        _params: &(),
+        nparts: usize,
+        self_idx: usize,
+    ) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        out[self_idx] = local;
+        out
+    }
+    fn split_assemble(&self, pieces: Vec<Vec<T>>) -> Vec<T> {
+        pieces.into_iter().flatten().collect()
+    }
+
+    fn solve(&self, mut local: Vec<T>) -> Vec<T> {
+        local.sort_unstable();
+        local
+    }
+
+    fn merge_sample(&self, local: &Vec<T>) -> Vec<T> {
+        regular_sample(local, self.oversample)
+    }
+
+    fn merge_params(&self, samples: &[Vec<T>], nparts: usize) -> Vec<T> {
+        let mut all: Vec<T> = samples.iter().flatten().copied().collect();
+        all.sort_unstable();
+        if all.is_empty() || nparts <= 1 {
+            return Vec::new();
+        }
+        (1..nparts)
+            .map(|i| all[(i * all.len()) / nparts])
+            .collect()
+    }
+
+    fn merge_partition(
+        &self,
+        local: Vec<T>,
+        splitters: &Vec<T>,
+        nparts: usize,
+        _self_idx: usize,
+    ) -> Vec<Vec<T>> {
+        // local is sorted; cut it at the splitters with binary search.
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(nparts);
+        let mut rest = local;
+        for s in splitters {
+            let cut = rest.partition_point(|v| v <= s);
+            let tail = rest.split_off(cut);
+            out.push(rest);
+            rest = tail;
+        }
+        out.push(rest);
+        while out.len() < nparts {
+            out.push(Vec::new());
+        }
+        out
+    }
+
+    fn merge_assemble(&self, pieces: Vec<Vec<T>>) -> Vec<T> {
+        merge_k(pieces)
+    }
+
+    // ---- cost model (Figure 6) -------------------------------------------
+    fn solve_cost(&self, local: &Vec<T>) -> f64 {
+        sort_flops(local.len())
+    }
+    fn params_cost(&self, nparts: usize) -> f64 {
+        sort_flops(nparts * self.oversample)
+    }
+    fn merge_partition_cost(&self, local: &Vec<T>) -> f64 {
+        // binary searches + split bookkeeping: ~log n per splitter plus
+        // linear repacking.
+        local.len() as f64
+    }
+    fn merge_assemble_cost(&self, pieces: &[Vec<T>]) -> f64 {
+        let total: usize = pieces.iter().map(Vec::len).sum();
+        let k = pieces.iter().filter(|p| !p.is_empty()).count().max(1);
+        merge_flops(total) * (k as f64).log2().max(1.0)
+    }
+}
+
+/// Sequential mergesort — the baseline all Figure 6 speedups are relative
+/// to, and the reference implementation in correctness tests.
+pub fn sequential_mergesort<T: Ord>(data: Vec<T>) -> Vec<T> {
+    if data.len() <= 1 {
+        return data;
+    }
+    let mut data = data;
+    let right = data.split_off(data.len() / 2);
+    merge_two(sequential_mergesort(data), sequential_mergesort(right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{run_shared, run_spmd};
+    use archetype_core::ExecutionMode;
+    use archetype_mp::{run_spmd as mp_run, MachineModel};
+
+    fn blocks(nblocks: usize, per: usize) -> Vec<Vec<i64>> {
+        (0..nblocks)
+            .map(|b| {
+                (0..per)
+                    .map(|i| ((b * per + i) as i64 * 48271) % 99991 - 50000)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn flat_sorted(blocks: &[Vec<i64>]) -> Vec<i64> {
+        let mut all: Vec<i64> = blocks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn sequential_mergesort_sorts() {
+        let input = blocks(1, 1234).pop().unwrap();
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        assert_eq!(sequential_mergesort(input), expected);
+        assert_eq!(sequential_mergesort(Vec::<i64>::new()), vec![]);
+        assert_eq!(sequential_mergesort(vec![5]), vec![5]);
+    }
+
+    #[test]
+    fn merge_k_merges_many_runs() {
+        let runs = vec![vec![1, 5, 9], vec![2, 6], vec![], vec![3, 4, 7, 8]];
+        assert_eq!(merge_k(runs), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(merge_k(Vec::<Vec<i32>>::new()), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn one_deep_sorts_and_blocks_are_ordered() {
+        let alg = OneDeepMergesort::<i64>::new();
+        for n in [1usize, 2, 4, 7] {
+            let input = blocks(n, 500);
+            let expected = flat_sorted(&input);
+            let out = run_shared(&alg, input, ExecutionMode::Sequential, None);
+            // Concatenation is the sorted array...
+            let flat: Vec<i64> = out.iter().flatten().copied().collect();
+            assert_eq!(flat, expected, "n={n}");
+            // ...and each block is itself sorted ("process i's list is
+            // larger than process i-1's and smaller than process i+1's").
+            for w in out.windows(2) {
+                if let (Some(a), Some(b)) = (w[0].last(), w[1].first()) {
+                    assert!(a <= b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version1_sequential_equals_parallel() {
+        let alg = OneDeepMergesort::<i64>::new();
+        let seq = run_shared(&alg, blocks(6, 333), ExecutionMode::Sequential, None);
+        let par = run_shared(&alg, blocks(6, 333), ExecutionMode::Parallel, None);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn version2_spmd_equals_version1() {
+        let alg = OneDeepMergesort::<i64>::new();
+        for n in [1usize, 3, 4, 8] {
+            let input = blocks(n, 250);
+            let shared = run_shared(&alg, input.clone(), ExecutionMode::Sequential, None);
+            let out = mp_run(n, MachineModel::ibm_sp(), |ctx| {
+                let alg = OneDeepMergesort::<i64>::new();
+                run_spmd(&alg, ctx, input[ctx.rank()].clone())
+            });
+            assert_eq!(shared, out.results, "n={n}");
+        }
+    }
+
+    #[test]
+    fn uneven_blocks_still_sort() {
+        let alg = OneDeepMergesort::<i64>::new();
+        let input = vec![vec![5, 3, 1], vec![], vec![9, 9, 9, 9, 2, 0, -7]];
+        let expected = flat_sorted(&input);
+        let out = run_shared(&alg, input, ExecutionMode::Parallel, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let alg = OneDeepMergesort::<i64>::new();
+        let input = vec![vec![2, 2, 2, 2], vec![2, 2, 1, 3]];
+        let out = run_shared(&alg, input, ExecutionMode::Sequential, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![1, 2, 2, 2, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn oversampling_improves_balance() {
+        // With heavy oversampling, block sizes should be near n/P for
+        // uniform-ish data.
+        let alg = OneDeepMergesort::<i64>::with_oversample(64);
+        let n = 8;
+        let per = 2000;
+        let out = run_shared(&alg, blocks(n, per), ExecutionMode::Parallel, None);
+        let sizes: Vec<usize> = out.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        assert!(
+            max < 2.0 * per as f64,
+            "largest block {max} should be < 2x ideal {per}"
+        );
+    }
+
+    #[test]
+    fn one_deep_beats_traditional_in_virtual_time() {
+        // The headline claim of Figure 6 in miniature.
+        use crate::traditional::tree_mergesort_spmd;
+        let p = 16;
+        let per = 4000;
+        let input = blocks(p, per);
+        let flat: Vec<i64> = input.iter().flatten().copied().collect();
+
+        let t_onedeep = mp_run(p, MachineModel::intel_delta(), |ctx| {
+            let alg = OneDeepMergesort::<i64>::new();
+            run_spmd(&alg, ctx, input[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+
+        let t_trad = mp_run(p, MachineModel::intel_delta(), |ctx| {
+            let inp = (ctx.rank() == 0).then(|| flat.clone());
+            tree_mergesort_spmd(ctx, inp);
+        })
+        .elapsed_virtual;
+
+        assert!(
+            t_onedeep < t_trad,
+            "one-deep ({t_onedeep}) must beat traditional ({t_trad})"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Analytic performance model for the one-deep divide-and-conquer
+//! archetype.
+//!
+//! The paper (§1.1) proposes that archetypes "may also be helpful in
+//! developing performance models for classes of programs with common
+//! structure", citing the authors' mesh/mesh-spectral performance-model
+//! report. This module is that idea applied to one-deep sorting: a closed
+//! form for the SPMD execution time from the machine parameters alone —
+//! no simulation — validated against the virtual-time simulator in tests.
+
+use archetype_mp::MachineModel;
+
+use crate::traditional::{merge_flops, sort_flops};
+
+/// Closed-form prediction of the one-deep mergesort SPMD time for `n`
+/// items on `p` processes with `oversample` samples per process.
+///
+/// Terms follow the phases of the skeleton:
+/// local sort; sample all-gather (ring, `p − 1` rounds); splitter sort;
+/// repartition; all-to-all exchange (`p − 1` rounds moving `(1 − 1/p)` of
+/// the local block); local multiway merge.
+pub fn predict_one_deep_mergesort(model: &MachineModel, n: usize, p: usize, oversample: usize) -> f64 {
+    let ft = model.flop_time;
+    let local = n as f64 / p as f64;
+    let elem = 8.0; // bytes per i64/f64 item
+    let rounds = (p - 1) as f64;
+    let per_msg = model.send_overhead + model.latency + model.recv_overhead;
+
+    // Solve phase: local sequential sort.
+    let t_solve = sort_flops(local as usize) * ft;
+
+    // Sample all-gather: ring of p−1 rounds, each carrying one sample set.
+    let sample_bytes = oversample as f64 * elem;
+    let t_allgather = rounds * (per_msg + sample_bytes * model.byte_time);
+
+    // Splitter computation (replicated).
+    let t_params = sort_flops(p * oversample) * ft;
+
+    // Repartition bookkeeping.
+    let t_partition = local * ft;
+
+    // All-to-all: p−1 exchange rounds; the whole non-resident fraction of
+    // the local block crosses the wire.
+    let t_exchange =
+        rounds * per_msg + local * (1.0 - 1.0 / p as f64) * elem * model.byte_time;
+
+    // Local multiway merge of ~p runs.
+    let t_merge = merge_flops(local as usize) * (p as f64).log2().max(1.0) * ft;
+
+    t_solve + t_allgather + t_params + t_partition + t_exchange + t_merge
+}
+
+/// Predicted speedup over the modeled sequential mergesort.
+pub fn predict_one_deep_speedup(model: &MachineModel, n: usize, p: usize, oversample: usize) -> f64 {
+    sort_flops(n) * model.flop_time / predict_one_deep_mergesort(model, n, p, oversample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mergesort::OneDeepMergesort;
+    use crate::skeleton::run_spmd as dc_spmd;
+    use archetype_mp::{run_spmd, MachineModel};
+
+    fn simulated_time(n: usize, p: usize, oversample: usize, model: MachineModel) -> f64 {
+        let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 99991).collect();
+        let blocks: Vec<Vec<i64>> = (0..p)
+            .map(|r| {
+                let (s, l) = archetype_mp::topology::block_range(n, p, r);
+                data[s..s + l].to_vec()
+            })
+            .collect();
+        run_spmd(p, model, |ctx| {
+            let alg = OneDeepMergesort::<i64>::with_oversample(oversample);
+            dc_spmd(&alg, ctx, blocks[ctx.rank()].clone());
+        })
+        .elapsed_virtual
+    }
+
+    #[test]
+    fn prediction_tracks_simulation_within_35_percent() {
+        for model in [MachineModel::intel_delta(), MachineModel::ibm_sp()] {
+            for p in [2usize, 4, 8, 16] {
+                let n = 200_000;
+                let sim = simulated_time(n, p, 16, model);
+                let pred = predict_one_deep_mergesort(&model, n, p, 16);
+                let ratio = pred / sim;
+                assert!(
+                    (0.65..=1.35).contains(&ratio),
+                    "{} p={p}: predicted {pred:.4}, simulated {sim:.4} (ratio {ratio:.2})",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_speedup_is_monotone_then_saturating() {
+        let model = MachineModel::intel_delta();
+        let n = 1_000_000;
+        let s8 = predict_one_deep_speedup(&model, n, 8, 16);
+        let s32 = predict_one_deep_speedup(&model, n, 32, 16);
+        let s64 = predict_one_deep_speedup(&model, n, 64, 16);
+        assert!(s8 < s32 && s32 < s64, "{s8} {s32} {s64}");
+        // Efficiency must fall with p (communication grows).
+        assert!(s64 / 64.0 < s8 / 8.0);
+    }
+
+    #[test]
+    fn zero_comm_prediction_is_pure_compute() {
+        let model = MachineModel::zero_comm();
+        let n = 100_000;
+        let p = 8;
+        let pred = predict_one_deep_mergesort(&model, n, p, 8);
+        let compute_only = (sort_flops(n / p)
+            + sort_flops(p * 8)
+            + (n / p) as f64
+            + merge_flops(n / p) * 3.0)
+            * model.flop_time;
+        assert!((pred - compute_only).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! One-deep quicksort (paper §2.5.2): the mirror image of one-deep
+//! mergesort — a **non-trivial split** phase (select `N−1` pivots by
+//! sampling and partition the *unsorted* data into key ranges) and a
+//! **degenerate merge** ("the final sorted list is the concatenation of
+//! the local lists").
+
+use std::marker::PhantomData;
+
+use crate::mergesort::SortItem;
+use crate::skeleton::OneDeep;
+use crate::traditional::sort_flops;
+
+/// The one-deep quicksort algorithm. `oversample` controls pivot quality
+/// exactly as in [`crate::mergesort::OneDeepMergesort`].
+pub struct OneDeepQuicksort<T> {
+    /// Samples per process used to compute pivots.
+    pub oversample: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> OneDeepQuicksort<T> {
+    /// With the default oversampling factor (8 samples per process).
+    pub fn new() -> Self {
+        Self::with_oversample(8)
+    }
+
+    /// With an explicit oversampling factor (≥ 1).
+    pub fn with_oversample(oversample: usize) -> Self {
+        assert!(oversample >= 1);
+        OneDeepQuicksort {
+            oversample,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for OneDeepQuicksort<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evenly spaced sample of up to `k` elements of *unsorted* data.
+fn sample_unsorted<T: Copy>(data: &[T], k: usize) -> Vec<T> {
+    if data.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(data.len());
+    (0..k)
+        .map(|i| data[((2 * i + 1) * data.len()) / (2 * k)])
+        .collect()
+}
+
+impl<T: SortItem> OneDeep for OneDeepQuicksort<T> {
+    type In = Vec<T>;
+    type Mid = Vec<T>;
+    type Out = Vec<T>;
+    type SplitParams = Vec<T>; // the N−1 pivots
+    type MergeParams = ();
+    type SplitSample = Vec<T>;
+    type MergeSample = ();
+
+    fn split_sample(&self, local: &Vec<T>) -> Vec<T> {
+        sample_unsorted(local, self.oversample)
+    }
+
+    fn split_params(&self, samples: &[Vec<T>], nparts: usize) -> Vec<T> {
+        let mut all: Vec<T> = samples.iter().flatten().copied().collect();
+        all.sort_unstable();
+        if all.is_empty() || nparts <= 1 {
+            return Vec::new();
+        }
+        (1..nparts)
+            .map(|i| all[(i * all.len()) / nparts])
+            .collect()
+    }
+
+    fn split_partition(
+        &self,
+        local: Vec<T>,
+        pivots: &Vec<T>,
+        nparts: usize,
+        _self_idx: usize,
+    ) -> Vec<Vec<T>> {
+        // "partitions data into segments P_1 … P_N such that data in
+        // segment P_i is between p_i and p_{i+1}".
+        let mut out: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        for v in local {
+            let bucket = pivots.partition_point(|p| *p < v);
+            out[bucket].push(v);
+        }
+        out
+    }
+
+    fn split_assemble(&self, pieces: Vec<Vec<T>>) -> Vec<T> {
+        pieces.into_iter().flatten().collect()
+    }
+
+    fn solve(&self, mut local: Vec<T>) -> Vec<T> {
+        local.sort_unstable();
+        local
+    }
+
+    // Degenerate merge: concatenation of the local lists.
+    fn merge_sample(&self, _local: &Vec<T>) {}
+    fn merge_params(&self, _samples: &[()], _nparts: usize) {}
+    fn merge_partition(
+        &self,
+        local: Vec<T>,
+        _params: &(),
+        nparts: usize,
+        self_idx: usize,
+    ) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = (0..nparts).map(|_| Vec::new()).collect();
+        out[self_idx] = local;
+        out
+    }
+    fn merge_assemble(&self, pieces: Vec<Vec<T>>) -> Vec<T> {
+        pieces.into_iter().flatten().collect()
+    }
+
+    // ---- cost model --------------------------------------------------------
+    fn split_cost(&self, local: &Vec<T>) -> f64 {
+        // One binary search over the pivots per element.
+        2.0 * local.len() as f64
+    }
+    fn params_cost(&self, nparts: usize) -> f64 {
+        sort_flops(nparts * self.oversample)
+    }
+    fn solve_cost(&self, local: &Vec<T>) -> f64 {
+        sort_flops(local.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{run_shared, run_spmd};
+    use archetype_core::{ExecutionMode, PhaseKind, PhaseTrace};
+    use archetype_mp::{run_spmd as mp_run, MachineModel};
+
+    fn blocks(nblocks: usize, per: usize) -> Vec<Vec<i64>> {
+        (0..nblocks)
+            .map(|b| {
+                (0..per)
+                    .map(|i| ((b * per + i) as i64 * 16807) % 65521 - 32000)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_with_plain_concatenation_merge() {
+        let alg = OneDeepQuicksort::<i64>::new();
+        for n in [1usize, 2, 5, 8] {
+            let input = blocks(n, 400);
+            let mut expected: Vec<i64> = input.iter().flatten().copied().collect();
+            expected.sort_unstable();
+            let out = run_shared(&alg, input, ExecutionMode::Sequential, None);
+            let flat: Vec<i64> = out.iter().flatten().copied().collect();
+            assert_eq!(flat, expected, "n={n}");
+            // Degenerate merge means blocks are already disjoint key ranges.
+            for w in out.windows(2) {
+                if let (Some(a), Some(b)) = (w[0].last(), w[1].first()) {
+                    assert!(a <= b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modes_and_spmd_agree() {
+        let input = blocks(4, 300);
+        let alg = OneDeepQuicksort::<i64>::new();
+        let seq = run_shared(&alg, input.clone(), ExecutionMode::Sequential, None);
+        let par = run_shared(&alg, input.clone(), ExecutionMode::Parallel, None);
+        assert_eq!(seq, par);
+        let spmd = mp_run(4, MachineModel::ibm_sp(), |ctx| {
+            let alg = OneDeepQuicksort::<i64>::new();
+            run_spmd(&alg, ctx, input[ctx.rank()].clone())
+        });
+        assert_eq!(seq, spmd.results);
+    }
+
+    #[test]
+    fn all_equal_keys_do_not_break_partitioning() {
+        let alg = OneDeepQuicksort::<i64>::new();
+        let input = vec![vec![7; 100], vec![7; 100], vec![7; 100]];
+        let out = run_shared(&alg, input, ExecutionMode::Parallel, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![7; 300]);
+    }
+
+    #[test]
+    fn trace_shows_nontrivial_split_then_degenerate_merge() {
+        let alg = OneDeepQuicksort::<i64>::new();
+        let trace = PhaseTrace::new();
+        run_shared(&alg, blocks(3, 50), ExecutionMode::Sequential, Some(&trace));
+        assert!(trace.matches(&[PhaseKind::Split, PhaseKind::Solve, PhaseKind::Merge]));
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let alg = OneDeepQuicksort::<i64>::new();
+        let input = vec![vec![], vec![3, 1, 2], vec![]];
+        let out = run_shared(&alg, input, ExecutionMode::Sequential, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Traditional recursive divide-and-conquer (paper §2.1.1, Figure 1) —
+//! the baseline the one-deep archetype is measured against.
+//!
+//! Two executions are provided:
+//!
+//! - [`run_recursive`]: a generic fork/join skeleton on shared memory
+//!   (rayon `join` in parallel mode), the direct transcription of Figure 1;
+//! - [`tree_mergesort_spmd`]: the distributed-memory variant used for the
+//!   Figure 6 comparison — data fans out from process 0 down a binary tree
+//!   of splits, leaves solve locally, and subsolutions merge back up the
+//!   tree. This exhibits exactly the inefficiencies the paper names: the
+//!   split inspects all input data, and concurrency decays toward the root
+//!   (the final merge is one process touching all `n` elements).
+
+use archetype_core::ExecutionMode;
+use archetype_mp::{Ctx, FixedSize};
+
+/// A problem expressed as traditional recursive divide-and-conquer.
+pub trait Recursive: Sync {
+    /// Problem type.
+    type Problem: Send;
+    /// Solution type.
+    type Solution: Send;
+
+    /// True when the problem should be solved directly.
+    fn is_base(&self, p: &Self::Problem) -> bool;
+    /// Solve a base-case problem directly.
+    fn base_solve(&self, p: Self::Problem) -> Self::Solution;
+    /// Split a problem into two subproblems.
+    fn divide(&self, p: Self::Problem) -> (Self::Problem, Self::Problem);
+    /// Combine two subsolutions.
+    fn combine(&self, a: Self::Solution, b: Self::Solution) -> Self::Solution;
+}
+
+/// Execute a [`Recursive`] problem; in parallel mode each split spawns the
+/// two subproblems with `rayon::join` ("every time the problem is split
+/// into concurrently-executable subproblems a new process is created").
+pub fn run_recursive<A: Recursive>(alg: &A, p: A::Problem, mode: ExecutionMode) -> A::Solution {
+    if alg.is_base(&p) {
+        return alg.base_solve(p);
+    }
+    let (left, right) = alg.divide(p);
+    let (a, b) = match mode {
+        ExecutionMode::Sequential => (
+            run_recursive(alg, left, mode),
+            run_recursive(alg, right, mode),
+        ),
+        ExecutionMode::Parallel => rayon::join(
+            || run_recursive(alg, left, mode),
+            || run_recursive(alg, right, mode),
+        ),
+    };
+    alg.combine(a, b)
+}
+
+/// Modeled flop cost per element of one comparison-and-move in a merge
+/// or sort inner loop. Shared by the Figure 6 cost model so the
+/// traditional and one-deep algorithms are charged consistently.
+pub const SORT_FLOPS_PER_CMP: f64 = 4.0;
+
+/// Flop model of sequentially sorting `n` items: `c · n log₂ n`.
+pub fn sort_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    SORT_FLOPS_PER_CMP * n as f64 * (n as f64).log2()
+}
+
+/// Flop model of merging sorted runs totalling `n` items.
+pub fn merge_flops(n: usize) -> f64 {
+    SORT_FLOPS_PER_CMP * n as f64
+}
+
+/// Distributed traditional mergesort over the message-passing substrate.
+///
+/// The full input starts at rank 0 (the paper's first inefficiency: the
+/// split "can require inspection of all the input data"). It is halved down
+/// a binary tree of processes, sorted at the leaves, and pairwise-merged
+/// back up; rank 0 returns the fully sorted data, other ranks return their
+/// (empty) remainder. `nprocs` need not be a power of two — a rank splits
+/// as long as it has a subtree partner in range.
+///
+/// Returns the sorted data on rank 0 and `None` elsewhere.
+pub fn tree_mergesort_spmd<T>(ctx: &mut Ctx, input: Option<Vec<T>>) -> Option<Vec<T>>
+where
+    T: FixedSize + Ord,
+{
+    let n = ctx.nprocs();
+    let me = ctx.rank();
+    const TAG_SPLIT: u64 = 0x7001;
+    const TAG_MERGE: u64 = 0x7002;
+
+    // --- split phase: fan out down the binary tree -------------------------
+    // Round k (k = ceil(log2 n)-1 .. 0): rank r < 2^k with r + 2^k < n sends
+    // the upper half of its current data to rank r + 2^k.
+    let mut levels = 0usize;
+    while (1usize << levels) < n {
+        levels += 1;
+    }
+
+    let mut data: Vec<T> = if me == 0 {
+        input.expect("rank 0 must supply the input")
+    } else {
+        Vec::new()
+    };
+
+    for k in (0..levels).rev() {
+        let bit = 1usize << k;
+        let group = bit << 1;
+        if me.is_multiple_of(group) && me + bit < n {
+            // Inspecting/copying the data to split it costs linear work.
+            ctx.charge_items(data.len(), 1.0);
+            let upper = data.split_off(data.len() / 2);
+            ctx.send(me + bit, TAG_SPLIT, upper);
+        } else if me % group == bit {
+            data = ctx.recv(me - bit, TAG_SPLIT);
+        }
+    }
+
+    // --- solve phase: leaves sort locally ----------------------------------
+    ctx.charge_flops(sort_flops(data.len()));
+    data.sort_unstable();
+
+    // --- merge phase: fan back in up the tree ------------------------------
+    for k in 0..levels {
+        let bit = 1usize << k;
+        let group = bit << 1;
+        if me % group == bit {
+            ctx.send(me - bit, TAG_MERGE, std::mem::take(&mut data));
+        } else if me.is_multiple_of(group) && me + bit < n {
+            let other: Vec<T> = ctx.recv(me + bit, TAG_MERGE);
+            ctx.charge_flops(merge_flops(data.len() + other.len()));
+            data = merge_two(data, other);
+        }
+    }
+
+    if me == 0 {
+        Some(data)
+    } else {
+        None
+    }
+}
+
+/// Distributed traditional mergesort starting from *distributed* data —
+/// the variant measured in Figure 6, where both algorithms begin with the
+/// input already in per-process blocks. Each rank sorts its block, then
+/// subsolutions merge pairwise up a binary tree; concurrency decays toward
+/// the root, whose final merge touches all `n` elements sequentially (the
+/// paper's second inefficiency: "the amount of actual concurrency varies
+/// over the lifetime of the algorithm").
+///
+/// Returns the sorted data on rank 0 and `None` elsewhere.
+pub fn tree_mergesort_distributed_spmd<T>(ctx: &mut Ctx, local: Vec<T>) -> Option<Vec<T>>
+where
+    T: FixedSize + Ord,
+{
+    let n = ctx.nprocs();
+    let me = ctx.rank();
+    const TAG_MERGE: u64 = 0x7003;
+
+    let mut levels = 0usize;
+    while (1usize << levels) < n {
+        levels += 1;
+    }
+
+    let mut data = local;
+    ctx.charge_flops(sort_flops(data.len()));
+    data.sort_unstable();
+
+    for k in 0..levels {
+        let bit = 1usize << k;
+        let group = bit << 1;
+        if me % group == bit {
+            ctx.send(me - bit, TAG_MERGE, std::mem::take(&mut data));
+        } else if me.is_multiple_of(group) && me + bit < n {
+            let other: Vec<T> = ctx.recv(me + bit, TAG_MERGE);
+            ctx.charge_flops(merge_flops(data.len() + other.len()));
+            data = merge_two(data, other);
+        }
+    }
+
+    if me == 0 {
+        Some(data)
+    } else {
+        None
+    }
+}
+
+/// Merge two sorted vectors into one sorted vector.
+pub fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.extend(ia.by_ref()),
+            (None, Some(_)) => out.extend(ib.by_ref()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archetype_mp::{run_spmd, MachineModel};
+
+    struct MergesortRec;
+    impl Recursive for MergesortRec {
+        type Problem = Vec<i64>;
+        type Solution = Vec<i64>;
+        fn is_base(&self, p: &Vec<i64>) -> bool {
+            p.len() <= 8
+        }
+        fn base_solve(&self, mut p: Vec<i64>) -> Vec<i64> {
+            p.sort_unstable();
+            p
+        }
+        fn divide(&self, mut p: Vec<i64>) -> (Vec<i64>, Vec<i64>) {
+            let right = p.split_off(p.len() / 2);
+            (p, right)
+        }
+        fn combine(&self, a: Vec<i64>, b: Vec<i64>) -> Vec<i64> {
+            merge_two(a, b)
+        }
+    }
+
+    fn scrambled(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 48271) % 65537 - 32768).collect()
+    }
+
+    #[test]
+    fn recursive_skeleton_sorts_in_both_modes() {
+        let input = scrambled(3000);
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        for mode in ExecutionMode::both() {
+            let got = run_recursive(&MergesortRec, input.clone(), mode);
+            assert_eq!(got, expected, "{mode}");
+        }
+    }
+
+    #[test]
+    fn recursive_base_case_only() {
+        let got = run_recursive(&MergesortRec, vec![3, 1, 2], ExecutionMode::Parallel);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_two_interleaves() {
+        assert_eq!(
+            merge_two(vec![1, 3, 5], vec![2, 3, 6, 7]),
+            vec![1, 2, 3, 3, 5, 6, 7]
+        );
+        assert_eq!(merge_two(Vec::<i32>::new(), vec![1]), vec![1]);
+        assert_eq!(merge_two(vec![1], Vec::<i32>::new()), vec![1]);
+    }
+
+    #[test]
+    fn tree_mergesort_sorts_for_many_process_counts() {
+        for p in [1usize, 2, 3, 4, 6, 8, 13] {
+            let input = scrambled(997);
+            let mut expected = input.clone();
+            expected.sort_unstable();
+            let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                let inp = (ctx.rank() == 0).then(|| input.clone());
+                tree_mergesort_spmd(ctx, inp)
+            });
+            assert_eq!(out.results[0].as_ref().expect("root has data"), &expected, "p={p}");
+            for r in 1..p {
+                assert!(out.results[r].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_mergesort_speedup_saturates() {
+        // The paper's point: concurrency decays toward the root, so speedup
+        // grows sublinearly. Compare modeled times at P=4 and P=32 and check
+        // the efficiency (speedup/P) drops substantially.
+        let n_items = 1 << 16;
+        let run_at = |p: usize| {
+            let input = scrambled(n_items);
+            run_spmd(p, MachineModel::intel_delta(), move |ctx| {
+                let inp = (ctx.rank() == 0).then(|| input.clone());
+                tree_mergesort_spmd(ctx, inp);
+            })
+            .elapsed_virtual
+        };
+        let t1 = run_at(1);
+        let t4 = run_at(4);
+        let t32 = run_at(32);
+        let eff4 = t1 / t4 / 4.0;
+        let eff32 = t1 / t32 / 32.0;
+        assert!(t4 < t1, "some speedup at P=4");
+        assert!(eff32 < eff4 * 0.8, "efficiency must decay: {eff4} -> {eff32}");
+    }
+
+    #[test]
+    fn tree_mergesort_distributed_sorts() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let input = scrambled(500);
+            let mut expected = input.clone();
+            expected.sort_unstable();
+            let blocks: Vec<Vec<i64>> = (0..p)
+                .map(|r| {
+                    let (s, l) = archetype_mp::topology::block_range(input.len(), p, r);
+                    input[s..s + l].to_vec()
+                })
+                .collect();
+            let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                tree_mergesort_distributed_spmd(ctx, blocks[ctx.rank()].clone())
+            });
+            assert_eq!(out.results[0].as_ref().unwrap(), &expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sort_flops_model_is_superlinear() {
+        assert!(sort_flops(2000) > 2.0 * sort_flops(1000));
+        assert_eq!(sort_flops(0), 1.0);
+        assert_eq!(sort_flops(1), 1.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Applications of the mesh-spectral archetype (paper §3.5–§3.7).
+
+pub mod airshed;
+pub mod cfd;
+pub mod em_fdtd;
+pub mod fft2d;
+pub mod poisson;
+pub mod spectral_flow;

@@ -1,0 +1,45 @@
+//! # archetype-mesh — the mesh-spectral archetype
+//!
+//! Implementation of §3 of Massingill & Chandy, "Parallel Program
+//! Archetypes" (IPPS 1999): computations over N-dimensional grids built
+//! from grid operations, row/column operations, reductions, and file I/O,
+//! with the communication operations the archetype's dataflow requires —
+//! boundary (ghost) exchange, grid redistribution, broadcast of globals,
+//! and reductions.
+//!
+//! Substrate modules:
+//! - [`block`]: local grid sections with ghost layers ([`block::Block2`],
+//!   [`block::Block3`]);
+//! - [`grid2`] / [`grid3`]: block-distributed grids with ghost exchange,
+//!   global gather, and reductions;
+//! - [`redist`]: row/column distributions and the rows↔columns
+//!   redistribution (Figure 6 of the paper);
+//! - [`globals`]: replicated global variables with enforced copy
+//!   consistency (only reductions and broadcasts may write);
+//! - [`io`]: grid file output (PGM field snapshots, CSV series).
+//!
+//! Applications (each in both "version 1" shared-memory and "version 2"
+//! SPMD form, with equivalence tests):
+//! - [`apps::fft2d`] — two-dimensional FFT (§3.5, Figures 10–12);
+//! - [`apps::poisson`] — Jacobi Poisson solver (§3.6, Figures 13–15);
+//! - [`apps::cfd`] — compressible-flow CFD kernel (§3.7.1, Figures 16, 19, 20);
+//! - [`apps::em_fdtd`] — 3-D FDTD electromagnetics kernel (§3.7.2, Figure 17);
+//! - [`apps::spectral_flow`] — axisymmetric spectral flow kernel (§3.7.3,
+//!   Figures 18, 21);
+//! - [`apps::airshed`] — advection–diffusion–photochemistry smog model
+//!   (§3.7.4).
+
+pub mod apps;
+pub mod block;
+pub mod globals;
+pub mod grid2;
+pub mod grid3;
+pub mod io;
+pub mod perfmodel;
+pub mod redist;
+
+pub use block::{Block2, Block3};
+pub use globals::GlobalVar;
+pub use grid2::DistGrid2;
+pub use grid3::DistGrid3;
+pub use redist::{cols_to_rows, gather_rows, rows_to_cols, ColDist, RowDist};

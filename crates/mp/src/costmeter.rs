@@ -1,0 +1,93 @@
+//! Sequential cost accounting against the same machine model.
+//!
+//! Speedup figures compare a parallel run against the *sequential*
+//! algorithm on one node of the same machine. `CostMeter` accumulates the
+//! modeled cost of a sequential execution so that `T_seq / T_par` uses one
+//! consistent clock.
+
+use crate::model::MachineModel;
+
+/// Accumulates modeled sequential execution time on a [`MachineModel`].
+#[derive(Clone, Debug)]
+pub struct CostMeter {
+    model: MachineModel,
+    elapsed: f64,
+    working_set_bytes: f64,
+}
+
+impl CostMeter {
+    /// New meter at time zero.
+    pub fn new(model: MachineModel) -> Self {
+        CostMeter {
+            model,
+            elapsed: 0.0,
+            working_set_bytes: 0.0,
+        }
+    }
+
+    /// Declare the working set (bytes) for the memory-pressure model,
+    /// mirroring [`crate::Ctx::set_working_set`].
+    pub fn set_working_set(&mut self, bytes: f64) {
+        self.working_set_bytes = bytes;
+    }
+
+    /// Charge raw seconds.
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.elapsed += seconds;
+    }
+
+    /// Charge flop-equivalents, scaled by the memory model.
+    pub fn charge_flops(&mut self, flops: f64) {
+        let slow = self.model.memory.slowdown(self.working_set_bytes);
+        self.charge_seconds(self.model.compute_time(flops) * slow);
+    }
+
+    /// Charge `items × flops_per_item`.
+    pub fn charge_items(&mut self, items: usize, flops_per_item: f64) {
+        self.charge_flops(items as f64 * flops_per_item);
+    }
+
+    /// Total modeled time so far.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// The underlying machine model.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_charges() {
+        let mut m = CostMeter::new(MachineModel::ibm_sp());
+        m.charge_flops(1e8); // 1 second at 100 Mflop/s
+        m.charge_seconds(0.5);
+        assert!((m.elapsed() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_items_is_product() {
+        let mut a = CostMeter::new(MachineModel::intel_delta());
+        let mut b = CostMeter::new(MachineModel::intel_delta());
+        a.charge_items(1000, 5.0);
+        b.charge_flops(5000.0);
+        assert_eq!(a.elapsed(), b.elapsed());
+    }
+
+    #[test]
+    fn memory_pressure_applies() {
+        let model = MachineModel::ibm_sp_with_memory(1e6, 1.0);
+        let mut m = CostMeter::new(model);
+        m.charge_flops(1e6);
+        let base = m.elapsed();
+        m.set_working_set(3e6); // slowdown 1 + 1*(3-1) = 3
+        m.charge_flops(1e6);
+        assert!((m.elapsed() - base - 3.0 * base).abs() < 1e-9);
+    }
+}

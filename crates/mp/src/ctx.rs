@@ -1,0 +1,308 @@
+//! Per-rank execution context: the handle an SPMD process uses to send,
+//! receive, and charge compute time against the virtual clock.
+
+use crossbeam::channel::Sender;
+
+use crate::mailbox::Mailbox;
+use crate::model::MachineModel;
+use crate::packet::Packet;
+use crate::payload::Payload;
+use crate::stats::RankStats;
+
+/// Message tag. Tags with the top bit set are reserved for collectives.
+pub type Tag = u64;
+
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+/// The per-rank handle passed to the SPMD body by [`crate::run_spmd`].
+///
+/// One `Ctx` is owned by exactly one thread; interior state (the clock,
+/// statistics, the collective sequence number) therefore needs no locking.
+/// Each `Ctx` owns the send sides of its outgoing channels, so if a rank
+/// panics, peers blocked on a receive from it observe channel closure and
+/// fail fast with a "rank terminated" diagnostic instead of deadlocking.
+pub struct Ctx {
+    rank: usize,
+    nprocs: usize,
+    /// `senders[dest]` is the channel on which *this* rank sends to `dest`.
+    senders: Vec<Sender<Packet>>,
+    mailbox: Mailbox,
+    model: MachineModel,
+    clock: f64,
+    stats: RankStats,
+    /// Sequence number stamped into collective tags so that back-to-back
+    /// collectives cannot confuse each other's messages.
+    pub(crate) coll_seq: u64,
+    /// Declared per-process working set, feeding the memory-pressure model.
+    working_set_bytes: f64,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        senders: Vec<Sender<Packet>>,
+        mailbox: Mailbox,
+        model: MachineModel,
+    ) -> Self {
+        Ctx {
+            rank,
+            nprocs,
+            senders,
+            mailbox,
+            model,
+            clock: 0.0,
+            stats: RankStats::default(),
+            coll_seq: 0,
+            working_set_bytes: 0.0,
+        }
+    }
+
+    /// This process's rank in `0..nprocs()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of SPMD processes in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The machine model driving the virtual clock.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Current virtual time of this rank, in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Statistics accumulated so far by this rank.
+    pub fn stats(&self) -> RankStats {
+        self.stats
+    }
+
+    /// Declare the per-process working set (bytes). Subsequent compute
+    /// charges are scaled by the machine's memory model — see
+    /// [`crate::MemoryModel`] — reproducing paging effects.
+    pub fn set_working_set(&mut self, bytes: f64) {
+        self.working_set_bytes = bytes;
+    }
+
+    /// Advance the virtual clock by `seconds` of computation (already
+    /// scaled; not subject to the memory model).
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute charge");
+        self.clock += seconds;
+        self.stats.compute_time += seconds;
+    }
+
+    /// Charge `flops` flop-equivalents of computation, scaled by the
+    /// memory-pressure model for the declared working set.
+    pub fn charge_flops(&mut self, flops: f64) {
+        let slow = self.model.memory.slowdown(self.working_set_bytes);
+        self.charge_seconds(self.model.compute_time(flops) * slow);
+    }
+
+    /// Convenience: charge `items × flops_per_item` flop-equivalents.
+    pub fn charge_items(&mut self, items: usize, flops_per_item: f64) {
+        self.charge_flops(items as f64 * flops_per_item);
+    }
+
+    /// Send `value` to rank `to` with tag `tag`. Non-blocking (buffered),
+    /// like an eager-protocol MPI send; costs this rank `send_overhead`
+    /// of virtual time and stamps the packet's arrival time.
+    pub fn send<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
+        assert!(to < self.nprocs, "send to rank {to} out of range");
+        let bytes = value.size_bytes();
+        let arrival_time = self.clock + self.model.wire_time(bytes);
+        self.clock += self.model.send_overhead;
+        self.stats.comm_time += self.model.send_overhead;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.senders[to]
+            .send(Packet {
+                from: self.rank,
+                tag,
+                bytes,
+                arrival_time,
+                payload: Box::new(value),
+            })
+            .expect("receiving rank's mailbox closed (rank panicked?)");
+    }
+
+    /// Blocking receive of a `T` from rank `from` with tag `tag`.
+    ///
+    /// Advances the virtual clock to the message arrival time if the
+    /// message "arrives in the future", then adds receive overhead.
+    ///
+    /// # Panics
+    /// Panics if the matched message's payload is not a `T` — that is a
+    /// protocol bug in the SPMD program.
+    pub fn recv<T: Payload>(&mut self, from: usize, tag: Tag) -> T {
+        assert!(from < self.nprocs, "recv from rank {from} out of range");
+        let pkt = self.mailbox.recv_matching(from, tag);
+        if pkt.arrival_time > self.clock {
+            self.stats.comm_time += pkt.arrival_time - self.clock;
+            self.clock = pkt.arrival_time;
+        }
+        self.clock += self.model.recv_overhead;
+        self.stats.comm_time += self.model.recv_overhead;
+        match pkt.payload.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "type mismatch receiving (from={from}, tag={tag}) at rank {}: expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Send to `to` and receive from `from` in one exchange step. The send
+    /// is issued first, so symmetric exchanges (`sendrecv` with a partner)
+    /// do not deadlock.
+    pub fn sendrecv<T: Payload, U: Payload>(
+        &mut self,
+        to: usize,
+        send_value: T,
+        from: usize,
+        tag: Tag,
+    ) -> U {
+        self.send(to, tag, send_value);
+        self.recv(from, tag)
+    }
+
+    pub(crate) fn mailbox_unconsumed(&self) -> usize {
+        self.mailbox.unconsumed()
+    }
+
+    /// Reserve a fresh tag namespace for a user-level communication phase
+    /// (e.g. a ghost exchange). Like collectives, every rank must execute
+    /// the same sequence of phase-tag reservations, which SPMD programs do
+    /// by construction; the low 16 bits are free for sub-message numbering.
+    pub fn phase_tag(&mut self) -> Tag {
+        self.next_collective_tag()
+    }
+
+    pub(crate) fn next_collective_tag(&mut self) -> u64 {
+        let t = COLLECTIVE_TAG_BASE | (self.coll_seq << 16);
+        self.coll_seq += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::MachineModel;
+    use crate::runner::run_spmd_quiet;
+
+    #[test]
+    fn ping_pong_transfers_value_and_advances_clock() {
+        let out = run_spmd_quiet(2, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1i64, 2, 3]);
+                ctx.recv::<Vec<i64>>(1, 2)
+            } else {
+                let v: Vec<i64> = ctx.recv(0, 1);
+                let doubled: Vec<i64> = v.iter().map(|x| x * 2).collect();
+                ctx.send(0, 2, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out.results[0], vec![2, 4, 6]);
+        assert_eq!(out.results[1], vec![2, 4, 6]);
+        // Round trip must cost at least two latencies.
+        assert!(out.elapsed_virtual >= 2.0 * MachineModel::ibm_sp().latency);
+    }
+
+    #[test]
+    fn receive_waits_for_computing_sender() {
+        let m = MachineModel::zero_comm();
+        let out = run_spmd_quiet(2, m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge_seconds(5.0);
+                ctx.send(1, 0, 1u8);
+                ctx.now()
+            } else {
+                let _: u8 = ctx.recv(0, 0);
+                ctx.now()
+            }
+        });
+        // Receiver did no compute but must still end at >= 5.0 virtual.
+        assert!(out.results[1] >= 5.0);
+    }
+
+    #[test]
+    fn bigger_messages_arrive_later() {
+        let m = MachineModel::ibm_sp();
+        let arrival = |n: usize| {
+            run_spmd_quiet(2, m, move |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![0u8; n]);
+                    0.0
+                } else {
+                    let _: Vec<u8> = ctx.recv(0, 0);
+                    ctx.now()
+                }
+            })
+            .results[1]
+        };
+        assert!(arrival(1_000_000) > arrival(10));
+    }
+
+    #[test]
+    fn sendrecv_symmetric_exchange_does_not_deadlock() {
+        let out = run_spmd_quiet(2, MachineModel::ibm_sp(), |ctx| {
+            let partner = 1 - ctx.rank();
+            let got: u64 = ctx.sendrecv(partner, ctx.rank() as u64, partner, 7);
+            got
+        });
+        assert_eq!(out.results, vec![1, 0]);
+    }
+
+    #[test]
+    fn working_set_scales_compute_charges() {
+        let m = MachineModel::ibm_sp_with_memory(1e6, 1.0);
+        let out = run_spmd_quiet(1, m, |ctx| {
+            ctx.charge_flops(1e6);
+            let small = ctx.now();
+            ctx.set_working_set(2e6); // 2x capacity -> slowdown 2
+            ctx.charge_flops(1e6);
+            (small, ctx.now())
+        });
+        let (small, total) = out.results[0];
+        let second = total - small;
+        assert!((second - 2.0 * small).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        run_spmd_quiet(2, MachineModel::zero_comm(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, 1u32);
+            } else {
+                let _: u64 = ctx.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = run_spmd_quiet(2, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0f64; 10]);
+                ctx.send(1, 1, 3u8);
+            } else {
+                let _: Vec<f64> = ctx.recv(0, 0);
+                let _: u8 = ctx.recv(0, 1);
+            }
+            ctx.stats()
+        });
+        assert_eq!(out.results[0].msgs_sent, 2);
+        assert_eq!(out.results[0].bytes_sent, 81);
+        assert_eq!(out.results[1].msgs_sent, 0);
+        assert!(out.results[1].comm_time > 0.0);
+    }
+}

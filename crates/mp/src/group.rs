@@ -1,0 +1,358 @@
+//! Process subgroups: task-parallel composition of data-parallel
+//! computations.
+//!
+//! The paper's future-work list asks for "a theory and strategy for
+//! archetype composition … for example task-parallel compositions of
+//! data-parallel computations" (§7; also the group-communication archetype
+//! of the paper's reference 12). This module provides the substrate for that:
+//! a [`Group`] names a subset of ranks and offers the collective
+//! operations *within* the subset, with a tag namespace derived from the
+//! member list so that disjoint groups can run their collectives
+//! concurrently without interfering and without desynchronizing the
+//! global collective sequence.
+
+use crate::ctx::{Ctx, Tag};
+use crate::payload::Payload;
+
+const GROUP_TAG_BASE: u64 = 1 << 62;
+
+/// A subset of the SPMD ranks with its own collective operations.
+///
+/// All members must construct the group with the *same* member list (in
+/// the same order) and then execute the same sequence of group operations
+/// — the usual SPMD contract, scoped to the subset. Operations take the
+/// rank's [`Ctx`] explicitly; the group only translates ranks and
+/// namespaces tags.
+///
+/// ```
+/// use archetype_mp::{run_spmd, Group, MachineModel};
+///
+/// // Evens and odds each sum their ranks, concurrently.
+/// let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+///     let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+///     let mut g = Group::split(ctx, &colors);
+///     g.all_reduce(ctx, ctx.rank() as u64, |a, b| a + b)
+/// });
+/// assert_eq!(out.results, vec![2, 4, 2, 4]); // 0+2 and 1+3
+/// ```
+#[derive(Clone, Debug)]
+pub struct Group {
+    members: Vec<usize>,
+    my_index: usize,
+    gid: u64,
+    seq: u64,
+}
+
+impl Group {
+    /// Create this rank's view of the group. Returns `None` if the calling
+    /// rank is not in `members`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or contains duplicates or
+    /// out-of-range ranks.
+    pub fn new(ctx: &Ctx, members: Vec<usize>) -> Option<Group> {
+        assert!(!members.is_empty(), "a group needs at least one member");
+        let mut seen = vec![false; ctx.nprocs()];
+        for &m in &members {
+            assert!(m < ctx.nprocs(), "member {m} out of range");
+            assert!(!seen[m], "duplicate member {m}");
+            seen[m] = true;
+        }
+        // Tag namespace from the member list (FNV-1a over the ranks), so
+        // different groups get (almost surely) disjoint tag spaces.
+        let mut gid: u64 = 0xcbf29ce484222325;
+        for &m in &members {
+            gid ^= m as u64 + 1;
+            gid = gid.wrapping_mul(0x100000001b3);
+        }
+        let my_index = members.iter().position(|&m| m == ctx.rank())?;
+        Some(Group {
+            members,
+            my_index,
+            gid: gid & 0x3FFF_FFFF, // keep room for seq/step bits
+            seq: 0,
+        })
+    }
+
+    /// Split the world into contiguous groups by `color`: every rank calls
+    /// this with its own color; ranks sharing a color form one group.
+    /// `colors` must be the full per-rank color table (replicated —
+    /// computable from rank alone in SPMD style).
+    pub fn split(ctx: &Ctx, colors: &[usize]) -> Group {
+        assert_eq!(colors.len(), ctx.nprocs());
+        let my_color = colors[ctx.rank()];
+        let members: Vec<usize> = (0..ctx.nprocs())
+            .filter(|&r| colors[r] == my_color)
+            .collect();
+        Group::new(ctx, members).expect("own rank is in its color class")
+    }
+
+    /// This rank's index within the group.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of group members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has exactly one member.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Global rank of group index `i`.
+    pub fn global_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    fn next_tag(&mut self) -> Tag {
+        let t = GROUP_TAG_BASE | (self.gid << 24) | (self.seq << 8);
+        self.seq += 1;
+        t
+    }
+
+    /// Point-to-point send to group index `to`.
+    pub fn send<T: Payload>(&self, ctx: &mut Ctx, to: usize, tag: Tag, value: T) {
+        ctx.send(self.members[to], GROUP_TAG_BASE | (self.gid << 24) | tag, value);
+    }
+
+    /// Point-to-point receive from group index `from`.
+    pub fn recv<T: Payload>(&self, ctx: &mut Ctx, from: usize, tag: Tag) -> T {
+        ctx.recv(self.members[from], GROUP_TAG_BASE | (self.gid << 24) | tag)
+    }
+
+    /// Dissemination barrier within the group.
+    pub fn barrier(&mut self, ctx: &mut Ctx) {
+        let n = self.len();
+        let base = self.next_tag();
+        let me = self.my_index;
+        let mut k = 1usize;
+        let mut step = 0u64;
+        while k < n {
+            let to = self.members[(me + k) % n];
+            let from = self.members[(me + n - k) % n];
+            ctx.send(to, base | step, ());
+            let () = ctx.recv(from, base | step);
+            k <<= 1;
+            step += 1;
+        }
+    }
+
+    /// Binomial broadcast from group index `root`.
+    pub fn broadcast<T: Payload + Clone>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        let n = self.len();
+        let base = self.next_tag();
+        let relative = (self.my_index + n - root) % n;
+        let mut val = if relative == 0 {
+            Some(value.expect("group broadcast root must supply a value"))
+        } else {
+            None
+        };
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = self.members[(relative - mask + root) % n];
+                val = Some(ctx.recv(src, base));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        let v = val.expect("set by receive phase");
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = self.members[(relative + mask + root) % n];
+                ctx.send(dst, base, v.clone());
+            }
+            mask >>= 1;
+        }
+        v
+    }
+
+    /// Recursive-doubling all-reduce within the group.
+    pub fn all_reduce<T, F>(&mut self, ctx: &mut Ctx, value: T, op: F) -> T
+    where
+        T: Payload + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let n = self.len();
+        let base = self.next_tag();
+        let me = self.my_index;
+        let pof2 = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
+        let rem = n - pof2;
+        let mut acc = value;
+
+        let my_idx: Option<usize> = if me < 2 * rem {
+            if me % 2 == 0 {
+                ctx.send(self.members[me + 1], base | 0xF0, acc.clone());
+                None
+            } else {
+                let other: T = ctx.recv(self.members[me - 1], base | 0xF0);
+                acc = op(other, acc);
+                Some(me / 2)
+            }
+        } else {
+            Some(me - rem)
+        };
+
+        if let Some(idx) = my_idx {
+            let to_global = |i: usize| self.members[if i < rem { 2 * i + 1 } else { i + rem }];
+            let mut mask = 1usize;
+            let mut step = 0u64;
+            while mask < pof2 {
+                let peer = to_global(idx ^ mask);
+                ctx.send(peer, base | step, acc.clone());
+                let other: T = ctx.recv(peer, base | step);
+                acc = if idx & mask == 0 {
+                    op(acc, other)
+                } else {
+                    op(other, acc)
+                };
+                mask <<= 1;
+                step += 1;
+            }
+            if me < 2 * rem {
+                ctx.send(self.members[me - 1], base | 0xF1, acc.clone());
+            }
+        } else {
+            acc = ctx.recv(self.members[me + 1], base | 0xF1);
+        }
+        acc
+    }
+
+    /// Linear gather to group index `root`.
+    pub fn gather<T: Payload>(&mut self, ctx: &mut Ctx, root: usize, value: T) -> Option<Vec<T>> {
+        let n = self.len();
+        let base = self.next_tag();
+        if self.my_index == root {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            out[root] = Some(value);
+            #[allow(clippy::needless_range_loop)] // r is also the source index
+            for r in 0..n {
+                if r != root {
+                    out[r] = Some(ctx.recv(self.members[r], base));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("gathered")).collect())
+        } else {
+            ctx.send(self.members[root], base, value);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::runner::run_spmd;
+
+    #[test]
+    fn split_forms_disjoint_groups() {
+        let out = run_spmd(6, MachineModel::ibm_sp(), |ctx| {
+            // Even/odd split.
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+            let g = Group::split(ctx, &colors);
+            (g.len(), g.rank(), g.global_rank(g.rank()))
+        });
+        for (r, &(len, idx, global)) in out.results.iter().enumerate() {
+            assert_eq!(len, 3);
+            assert_eq!(global, r);
+            assert_eq!(idx, r / 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_group_reductions_do_not_interfere() {
+        // The task-parallel composition: two groups run *different numbers*
+        // of collectives concurrently — which would desynchronize global
+        // collective tags, but group tags are namespaced by member list.
+        let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| usize::from(r >= 3)).collect();
+            let mut g = Group::split(ctx, &colors);
+            let mut acc = 0i64;
+            let rounds = if ctx.rank() < 3 { 5 } else { 2 };
+            for _ in 0..rounds {
+                acc = g.all_reduce(ctx, ctx.rank() as i64, |a, b| a + b);
+            }
+            g.barrier(ctx);
+            // After the task-parallel phase, a *global* collective still
+            // works because group ops never touched the global sequence.
+            let world = ctx.all_reduce(acc, |a, b| a + b);
+            (acc, world)
+        });
+        // Group A = {0,1,2}: sum 3; group B = {3..7}: sum 25.
+        for (r, &(acc, world)) in out.results.iter().enumerate() {
+            assert_eq!(acc, if r < 3 { 3 } else { 25 }, "rank {r}");
+            assert_eq!(world, 3 * 3 + 25 * 5);
+        }
+    }
+
+    #[test]
+    fn group_broadcast_and_gather() {
+        let out = run_spmd(7, MachineModel::ibm_sp(), |ctx| {
+            // One group of the primes, one of the rest.
+            let primes = [2usize, 3, 5];
+            let colors: Vec<usize> = (0..ctx.nprocs())
+                .map(|r| usize::from(!primes.contains(&r)))
+                .collect();
+            let mut g = Group::split(ctx, &colors);
+            let v = g.broadcast(ctx, 0, (g.rank() == 0).then(|| ctx.rank() as u64));
+            let gathered = g.gather(ctx, 0, ctx.rank() as u64);
+            (v, gathered)
+        });
+        // Prime group broadcast root is global rank 2; other group's is 0.
+        assert_eq!(out.results[3].0, 2);
+        assert_eq!(out.results[5].0, 2);
+        assert_eq!(out.results[6].0, 0);
+        // Gathers collect the global ranks in group order.
+        assert_eq!(out.results[2].1.as_ref().unwrap(), &vec![2, 3, 5]);
+        assert_eq!(out.results[0].1.as_ref().unwrap(), &vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn singleton_group_works() {
+        let out = run_spmd(3, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..3).collect(); // everyone alone
+            let mut g = Group::split(ctx, &colors);
+            g.barrier(ctx);
+            g.all_reduce(ctx, ctx.rank() as i64 * 10, |a, b| a + b)
+        });
+        assert_eq!(out.results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn group_all_reduce_non_power_of_two() {
+        for size in [3usize, 5, 6, 7] {
+            let out = run_spmd(size + 1, MachineModel::ibm_sp(), move |ctx| {
+                // Group of all but the last rank; the last sits out but must
+                // still participate in nothing (no deadlock).
+                let colors: Vec<usize> = (0..ctx.nprocs())
+                    .map(|r| usize::from(r == ctx.nprocs() - 1))
+                    .collect();
+                let mut g = Group::split(ctx, &colors);
+                if g.len() > 1 {
+                    g.all_reduce(ctx, 1u64, |a, b| a + b)
+                } else {
+                    0
+                }
+            });
+            for (r, &v) in out.results.iter().enumerate() {
+                if r < size {
+                    assert_eq!(v, size as u64, "size={size} rank={r}");
+                }
+            }
+        }
+    }
+}

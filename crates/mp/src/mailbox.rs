@@ -1,0 +1,136 @@
+//! Per-rank mailboxes: one unbounded channel per (receiver, sender) pair
+//! plus an out-of-order buffer so receives can match on tags.
+//!
+//! Keeping a dedicated channel per sender preserves per-sender FIFO order
+//! (like MPI's non-overtaking rule) while letting a receiver block on a
+//! specific sender without inspecting traffic from others.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// The receive side owned by one rank: `from[s]` is the channel carrying
+/// messages sent by rank `s`, and `pending[s]` holds messages from `s`
+/// already pulled off the channel but not yet matched by tag.
+pub struct Mailbox {
+    from: Vec<Receiver<Packet>>,
+    pending: Vec<VecDeque<Packet>>,
+}
+
+impl Mailbox {
+    /// Blocking receive of the next message from `sender` carrying `tag`.
+    ///
+    /// Messages from `sender` with other tags are buffered, preserving
+    /// their order, until a matching receive is posted.
+    ///
+    /// # Panics
+    /// Panics if the sending rank has terminated without ever sending a
+    /// matching message (which in a correct SPMD program is a deadlock bug).
+    pub fn recv_matching(&mut self, sender: usize, tag: u64) -> Packet {
+        if let Some(pos) = self.pending[sender].iter().position(|p| p.tag == tag) {
+            return self.pending[sender].remove(pos).expect("position valid");
+        }
+        loop {
+            let pkt = self.from[sender].recv().unwrap_or_else(|_| {
+                panic!("rank terminated while a receive (from={sender}, tag={tag}) was pending")
+            });
+            if pkt.tag == tag {
+                return pkt;
+            }
+            self.pending[sender].push_back(pkt);
+        }
+    }
+
+    /// Number of buffered (received but unmatched) messages; used by the
+    /// runner to detect messages that were sent but never received.
+    pub fn unconsumed(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.from.iter().map(Receiver::len).sum::<usize>()
+    }
+}
+
+/// Builds the full `n × n` mesh of channels and splits it into the send
+/// sides (shared by all ranks) and the per-rank receive sides.
+pub fn build_network(n: usize) -> (Vec<Vec<Sender<Packet>>>, Vec<Mailbox>) {
+    // senders[dest][src] : channel on which `src` sends to `dest`.
+    let mut senders: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(n);
+    let mut mailboxes: Vec<Mailbox> = Vec::with_capacity(n);
+    for _dest in 0..n {
+        let mut row_tx = Vec::with_capacity(n);
+        let mut row_rx = Vec::with_capacity(n);
+        for _src in 0..n {
+            let (tx, rx) = unbounded();
+            row_tx.push(tx);
+            row_rx.push(rx);
+        }
+        senders.push(row_tx);
+        mailboxes.push(Mailbox {
+            from: row_rx,
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+        });
+    }
+    (senders, mailboxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(from: usize, tag: u64, val: i32) -> Packet {
+        Packet {
+            from,
+            tag,
+            bytes: 4,
+            arrival_time: 0.0,
+            payload: Box::new(val),
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_same_tag() {
+        let (tx, mut mb) = build_network(2);
+        tx[0][1].send(pkt(1, 5, 10)).unwrap();
+        tx[0][1].send(pkt(1, 5, 20)).unwrap();
+        let a = mb[0].recv_matching(1, 5);
+        let b = mb[0].recv_matching(1, 5);
+        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 10);
+        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 20);
+    }
+
+    #[test]
+    fn tag_matching_skips_and_buffers() {
+        let (tx, mut mb) = build_network(2);
+        tx[0][1].send(pkt(1, 1, 100)).unwrap();
+        tx[0][1].send(pkt(1, 2, 200)).unwrap();
+        // Ask for tag 2 first; tag-1 message must be buffered, not lost.
+        let b = mb[0].recv_matching(1, 2);
+        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 200);
+        let a = mb[0].recv_matching(1, 1);
+        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 100);
+        assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    #[test]
+    fn unconsumed_counts_pending_and_queued() {
+        let (tx, mut mb) = build_network(2);
+        tx[0][1].send(pkt(1, 9, 1)).unwrap();
+        tx[0][1].send(pkt(1, 8, 2)).unwrap();
+        tx[0][1].send(pkt(1, 9, 3)).unwrap();
+        // Matching tag 8 buffers the first tag-9 packet.
+        mb[0].recv_matching(1, 8);
+        assert_eq!(mb[0].unconsumed(), 2);
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let (tx, mut mb) = build_network(3);
+        tx[2][0].send(pkt(0, 1, 7)).unwrap();
+        tx[2][1].send(pkt(1, 1, 8)).unwrap();
+        // Receive from rank 1 first even though rank 0's message arrived first.
+        let b = mb[2].recv_matching(1, 1);
+        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 8);
+        let a = mb[2].recv_matching(0, 1);
+        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 7);
+    }
+}

@@ -1,0 +1,230 @@
+//! Machine cost models for virtual-time simulation.
+//!
+//! A [`MachineModel`] is a small LogGP-style parameterization of a target
+//! machine: how long a unit of compute takes, how long a message takes to
+//! cross the network, and how much CPU time send/receive overhead costs.
+//! The presets approximate the machines in the paper's evaluation (Intel
+//! Delta, IBM SP, Cray T3D, Ethernet-connected workstations). Absolute
+//! values are rough — the reproduction targets the *shape* of the speedup
+//! curves, which depends on ratios (compute per byte communicated), not on
+//! absolute 1990s hardware constants.
+
+/// Optional memory-pressure model.
+///
+/// The paper's Figure 18 (spectral code) shows *superlinear* speedup at
+/// small processor counts because the per-process working set at the base
+/// configuration exceeded physical memory ("ineficiencies in executing the
+/// code on the base number of processors (e.g. paging)"). This model
+/// reproduces that effect: when a process declares a working set larger
+/// than `capacity_bytes`, its compute charges are multiplied by
+/// `1 + paging_factor * (ws/capacity - 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryModel {
+    /// Physical memory available to one process, in bytes.
+    pub capacity_bytes: f64,
+    /// Strength of the paging slowdown once the working set exceeds capacity.
+    pub paging_factor: f64,
+}
+
+impl MemoryModel {
+    /// A model with effectively infinite memory (no paging penalty).
+    pub const fn unlimited() -> Self {
+        MemoryModel {
+            capacity_bytes: f64::INFINITY,
+            paging_factor: 0.0,
+        }
+    }
+
+    /// Compute-time multiplier for a given per-process working set.
+    pub fn slowdown(&self, working_set_bytes: f64) -> f64 {
+        if working_set_bytes <= self.capacity_bytes {
+            1.0
+        } else {
+            1.0 + self.paging_factor * (working_set_bytes / self.capacity_bytes - 1.0)
+        }
+    }
+}
+
+/// LogGP-style cost model of a message-passing machine.
+///
+/// All times are in seconds. A message of `b` bytes sent at sender virtual
+/// time `t` costs the sender `send_overhead` of CPU time and arrives at
+/// `t + send_overhead + latency + b * byte_time`; the receiver additionally
+/// pays `recv_overhead` of CPU time when it picks the message up.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable machine name (appears in reports).
+    pub name: &'static str,
+    /// Seconds per flop-equivalent unit of work (inverse of achieved flop/s).
+    pub flop_time: f64,
+    /// Network latency per message (the LogP `L`).
+    pub latency: f64,
+    /// Seconds per byte of message payload (inverse bandwidth, LogGP `G`).
+    pub byte_time: f64,
+    /// Sender CPU overhead per message (LogP `o`).
+    pub send_overhead: f64,
+    /// Receiver CPU overhead per message.
+    pub recv_overhead: f64,
+    /// Memory-pressure model (paging when working sets exceed capacity).
+    pub memory: MemoryModel,
+}
+
+impl MachineModel {
+    /// Intel Touchstone Delta: ~25 Mflop/s achieved per i860 node,
+    /// ~72 µs message latency, ~10 MB/s achievable bandwidth.
+    pub const fn intel_delta() -> Self {
+        MachineModel {
+            name: "Intel Delta",
+            flop_time: 1.0 / 25.0e6,
+            latency: 72.0e-6,
+            byte_time: 1.0 / 10.0e6,
+            send_overhead: 10.0e-6,
+            recv_overhead: 10.0e-6,
+            memory: MemoryModel::unlimited(),
+        }
+    }
+
+    /// IBM SP (SP-2 thin nodes): ~100 Mflop/s achieved, ~40 µs latency,
+    /// ~35 MB/s bandwidth.
+    pub const fn ibm_sp() -> Self {
+        MachineModel {
+            name: "IBM SP",
+            flop_time: 1.0 / 100.0e6,
+            latency: 40.0e-6,
+            byte_time: 1.0 / 35.0e6,
+            send_overhead: 5.0e-6,
+            recv_overhead: 5.0e-6,
+            memory: MemoryModel::unlimited(),
+        }
+    }
+
+    /// IBM SP with a finite per-node memory, for Figure 18's paging regime.
+    pub const fn ibm_sp_with_memory(capacity_bytes: f64, paging_factor: f64) -> Self {
+        let mut m = Self::ibm_sp();
+        m.memory = MemoryModel {
+            capacity_bytes,
+            paging_factor,
+        };
+        m
+    }
+
+    /// Cray T3D: fast network relative to compute (~2 µs latency,
+    /// ~120 MB/s), ~50 Mflop/s achieved per Alpha node.
+    pub const fn cray_t3d() -> Self {
+        MachineModel {
+            name: "Cray T3D",
+            flop_time: 1.0 / 50.0e6,
+            latency: 2.0e-6,
+            byte_time: 1.0 / 120.0e6,
+            send_overhead: 1.0e-6,
+            recv_overhead: 1.0e-6,
+            memory: MemoryModel::unlimited(),
+        }
+    }
+
+    /// Network of workstations over 10 Mbit Ethernet: high latency, low
+    /// bandwidth relative to node compute speed.
+    pub const fn workstation_network() -> Self {
+        MachineModel {
+            name: "Workstation network (Ethernet)",
+            flop_time: 1.0 / 60.0e6,
+            latency: 800.0e-6,
+            byte_time: 1.0 / 1.0e6,
+            send_overhead: 100.0e-6,
+            recv_overhead: 100.0e-6,
+            memory: MemoryModel::unlimited(),
+        }
+    }
+
+    /// An idealized machine with zero communication cost. Useful in tests
+    /// for isolating compute-cost accounting and as an upper bound.
+    pub const fn zero_comm() -> Self {
+        MachineModel {
+            name: "ideal (zero communication cost)",
+            flop_time: 1.0 / 100.0e6,
+            latency: 0.0,
+            byte_time: 0.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            memory: MemoryModel::unlimited(),
+        }
+    }
+
+    /// Virtual-time cost of transferring `bytes` as one message, excluding
+    /// receiver overhead: `send_overhead + latency + bytes * byte_time`.
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        self.send_overhead + self.latency + bytes as f64 * self.byte_time
+    }
+
+    /// Virtual-time cost of `flops` flop-equivalents of computation.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops * self.flop_time
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::ibm_sp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_is_affine_in_bytes() {
+        let m = MachineModel::ibm_sp();
+        let t0 = m.wire_time(0);
+        let t1 = m.wire_time(1000);
+        let t2 = m.wire_time(2000);
+        assert!(t1 > t0);
+        let d1 = t1 - t0;
+        let d2 = t2 - t1;
+        assert!((d1 - d2).abs() < 1e-12, "per-byte cost must be constant");
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let m = MachineModel::intel_delta();
+        assert!((m.compute_time(2.0e6) - 2.0 * m.compute_time(1.0e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_comm_model_has_free_messages() {
+        let m = MachineModel::zero_comm();
+        assert_eq!(m.wire_time(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn unlimited_memory_never_pages() {
+        let mm = MemoryModel::unlimited();
+        assert_eq!(mm.slowdown(1e30), 1.0);
+    }
+
+    #[test]
+    fn paging_slowdown_kicks_in_above_capacity() {
+        let mm = MemoryModel {
+            capacity_bytes: 1e6,
+            paging_factor: 2.0,
+        };
+        assert_eq!(mm.slowdown(0.5e6), 1.0);
+        assert_eq!(mm.slowdown(1.0e6), 1.0);
+        // ws = 2x capacity -> slowdown 1 + 2*(2-1) = 3
+        assert!((mm.slowdown(2.0e6) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_have_positive_parameters() {
+        for m in [
+            MachineModel::intel_delta(),
+            MachineModel::ibm_sp(),
+            MachineModel::cray_t3d(),
+            MachineModel::workstation_network(),
+        ] {
+            assert!(m.flop_time > 0.0);
+            assert!(m.latency > 0.0);
+            assert!(m.byte_time > 0.0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Internal wire format of the simulated network.
+
+use std::any::Any;
+
+/// A message in flight. The payload is type-erased; [`crate::Ctx::recv`]
+/// downcasts it back to the concrete type the receiver expects — a type
+/// mismatch between matched send/recv pairs is a program bug and panics
+/// with a diagnostic.
+pub struct Packet {
+    /// Sending rank.
+    pub from: usize,
+    /// User- or collective-assigned tag used for matching.
+    pub tag: u64,
+    /// Payload size in bytes, as reported by [`crate::Payload::size_bytes`].
+    pub bytes: usize,
+    /// Virtual time at which the message is fully available at the receiver.
+    pub arrival_time: f64,
+    /// The type-erased payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("from", &self.from)
+            .field("tag", &self.tag)
+            .field("bytes", &self.bytes)
+            .field("arrival_time", &self.arrival_time)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_roundtrips_payload_through_any() {
+        let p = Packet {
+            from: 3,
+            tag: 7,
+            bytes: 24,
+            arrival_time: 1.5,
+            payload: Box::new(vec![1i64, 2, 3]),
+        };
+        let v = p.payload.downcast::<Vec<i64>>().expect("type should match");
+        assert_eq!(*v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_format_mentions_sender_and_tag() {
+        let p = Packet {
+            from: 1,
+            tag: 42,
+            bytes: 0,
+            arrival_time: 0.0,
+            payload: Box::new(()),
+        };
+        let s = format!("{p:?}");
+        assert!(s.contains("from: 1") && s.contains("tag: 42"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Message payload typing and size accounting.
+//!
+//! The virtual-time model charges per byte transferred, so every message
+//! payload must report its size on the wire. [`Payload`] is the trait the
+//! communicator requires; [`FixedSize`] is a marker for plain-old-data types
+//! whose wire size equals `size_of::<T>()`, with blanket [`Payload`]
+//! implementations for `T`, `Vec<T>` and `Box<[T]>`.
+//!
+//! Application crates implement [`FixedSize`] for their own POD structs with
+//! the [`impl_fixed_size!`](crate::impl_fixed_size) macro.
+
+/// Marker for plain-old-data message elements: `Copy` types with no heap
+/// indirection, whose transmitted size is exactly `size_of::<Self>()`.
+///
+/// # Safety-adjacent contract
+/// This is not `unsafe`, but implementations must be honest about size:
+/// the cost model (not memory safety) depends on it.
+pub trait FixedSize: Copy + Send + 'static {}
+
+/// Implements [`FixedSize`] for one or more POD types.
+///
+/// ```
+/// use archetype_mp::impl_fixed_size;
+///
+/// #[derive(Clone, Copy)]
+/// struct Building { left: f64, height: f64, right: f64 }
+/// impl_fixed_size!(Building);
+/// ```
+#[macro_export]
+macro_rules! impl_fixed_size {
+    ($($t:ty),* $(,)?) => {
+        $(impl $crate::payload::FixedSize for $t {})*
+    };
+}
+
+impl_fixed_size!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+);
+
+impl<T: FixedSize, const N: usize> FixedSize for [T; N] {}
+impl<A: FixedSize, B: FixedSize> FixedSize for (A, B) {}
+impl<A: FixedSize, B: FixedSize, C: FixedSize> FixedSize for (A, B, C) {}
+impl<A: FixedSize, B: FixedSize, C: FixedSize, D: FixedSize> FixedSize for (A, B, C, D) {}
+
+/// A value that can travel in a message: sendable across threads and able to
+/// report its wire size in bytes for the cost model.
+pub trait Payload: Send + 'static {
+    /// Number of bytes this value occupies on the (simulated) wire.
+    fn size_bytes(&self) -> usize;
+}
+
+impl<T: FixedSize> Payload for T {
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+impl<T: FixedSize> Payload for Vec<T> {
+    fn size_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: FixedSize> Payload for Box<[T]> {
+    fn size_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl Payload for String {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Nested vectors (e.g. one block per destination) transmit the sum of
+/// their parts; the per-message latency is charged once by the send itself.
+impl<T: FixedSize> Payload for Vec<Vec<T>> {
+    fn size_bytes(&self) -> usize {
+        self.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_size_of() {
+        assert_eq!(Payload::size_bytes(&0u64), 8);
+        assert_eq!(Payload::size_bytes(&0f32), 4);
+        assert_eq!(Payload::size_bytes(&(1u32, 2u32)), 8);
+    }
+
+    #[test]
+    fn vec_size_is_len_times_elem() {
+        let v = vec![0f64; 100];
+        assert_eq!(v.size_bytes(), 800);
+        let empty: Vec<i32> = Vec::new();
+        assert_eq!(empty.size_bytes(), 0);
+    }
+
+    #[test]
+    fn nested_vec_sums_parts() {
+        let v = vec![vec![0u8; 3], vec![0u8; 5]];
+        assert_eq!(v.size_bytes(), 8);
+    }
+
+    #[test]
+    fn custom_pod_struct_via_macro() {
+        #[derive(Clone, Copy)]
+        struct P {
+            _x: f64,
+            _y: f64,
+        }
+        impl_fixed_size!(P);
+        let v = vec![P { _x: 0.0, _y: 0.0 }; 4];
+        assert_eq!(v.size_bytes(), 4 * std::mem::size_of::<P>());
+    }
+
+    #[test]
+    fn string_size_is_byte_length() {
+        assert_eq!(Payload::size_bytes(&String::from("abcd")), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! SPMD runner: spawns one OS thread per rank, wires up the network, runs
+//! the body, and reports results plus virtual-time and traffic statistics.
+
+use crate::ctx::Ctx;
+use crate::mailbox::build_network;
+use crate::model::MachineModel;
+use crate::stats::RunStats;
+
+/// Everything a finished SPMD run reports.
+#[derive(Debug)]
+pub struct SpmdResult<R> {
+    /// Per-rank return values of the body, indexed by rank.
+    pub results: Vec<R>,
+    /// Elapsed virtual time: the maximum final clock across ranks.
+    pub elapsed_virtual: f64,
+    /// Final per-rank clocks.
+    pub rank_times: Vec<f64>,
+    /// Communication/computation statistics per rank.
+    pub stats: RunStats,
+}
+
+impl<R> SpmdResult<R> {
+    /// Speedup of this run relative to a modeled sequential time.
+    pub fn speedup_vs(&self, sequential_time: f64) -> f64 {
+        if self.elapsed_virtual > 0.0 {
+            sequential_time / self.elapsed_virtual
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn run_inner<F, R>(nprocs: usize, model: MachineModel, body: F, check_leaks: bool) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    assert!(nprocs > 0, "need at least one process");
+    let (senders_by_dest, mailboxes) = build_network(nprocs);
+    // Transpose so each rank *owns* its outgoing channel ends: when a rank
+    // panics its senders drop, and peers blocked on receives from it fail
+    // fast rather than deadlocking.
+    let mut per_src: Vec<Vec<crossbeam::channel::Sender<crate::packet::Packet>>> = (0..nprocs)
+        .map(|src| {
+            (0..nprocs)
+                .map(|dest| senders_by_dest[dest][src].clone())
+                .collect()
+        })
+        .collect();
+    drop(senders_by_dest);
+
+    let body = &body;
+    let mut outcomes: Vec<Option<(R, f64, crate::stats::RankStats, usize)>> =
+        (0..nprocs).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        let mailboxes_iter = mailboxes.into_iter().enumerate();
+        let mut srcs = per_src.drain(..);
+        for (rank, mailbox) in mailboxes_iter {
+            let senders = srcs.next().expect("one sender row per rank");
+            handles.push(scope.spawn(move || {
+                let mut ctx = Ctx::new(rank, nprocs, senders, mailbox, model);
+                let r = body(&mut ctx);
+                (r, ctx.now(), ctx.stats(), ctx.mailbox_unconsumed())
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outcomes[rank] = Some(out),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+
+    let mut results = Vec::with_capacity(nprocs);
+    let mut rank_times = Vec::with_capacity(nprocs);
+    let mut per_rank = Vec::with_capacity(nprocs);
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        let (r, t, s, unconsumed) = o.expect("all ranks joined");
+        if check_leaks {
+            assert_eq!(
+                unconsumed, 0,
+                "rank {rank} finished with {unconsumed} unreceived message(s): \
+                 mismatched send/recv in the SPMD program"
+            );
+        }
+        results.push(r);
+        rank_times.push(t);
+        per_rank.push(s);
+    }
+    let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
+    SpmdResult {
+        results,
+        elapsed_virtual,
+        rank_times,
+        stats: RunStats { per_rank },
+    }
+}
+
+/// Run `body` as an SPMD computation with `nprocs` processes on the given
+/// machine model. Panics in any rank propagate; on completion every sent
+/// message must have been received (leak check), which catches mismatched
+/// protocols early.
+pub fn run_spmd<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    run_inner(nprocs, model, body, true)
+}
+
+/// Like [`run_spmd`] but without the message-leak check. Useful in tests
+/// that deliberately exercise failure paths.
+pub fn run_spmd_quiet<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    run_inner(nprocs, model, body, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_runs_body_once() {
+        let out = run_spmd(1, MachineModel::ibm_sp(), |ctx| {
+            ctx.charge_flops(100.0);
+            ctx.rank()
+        });
+        assert_eq!(out.results, vec![0]);
+        assert!(out.elapsed_virtual > 0.0);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_ranks() {
+        let out = run_spmd(4, MachineModel::zero_comm(), |ctx| {
+            ctx.charge_seconds(ctx.rank() as f64);
+        });
+        assert_eq!(out.elapsed_virtual, 3.0);
+        assert_eq!(out.rank_times, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn determinism_same_program_same_clocks() {
+        let run = || {
+            run_spmd(8, MachineModel::intel_delta(), |ctx| {
+                let x = ctx.all_reduce(ctx.rank() as f64, |a, b| a + b);
+                ctx.charge_flops(x * 10.0);
+                ctx.barrier();
+                ctx.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rank_times, b.rank_times, "virtual time must be deterministic");
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreceived message")]
+    fn leak_check_catches_unmatched_send() {
+        run_spmd(2, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, 1u8);
+                ctx.send(1, 0, 2u8); // never received
+            } else {
+                let _: u8 = ctx.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        run_spmd_quiet(3, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("rank 1 exploded");
+            }
+            // Other ranks wait on rank 1 and observe its termination.
+            let _: u8 = ctx.recv(1, 0);
+        });
+    }
+
+    #[test]
+    fn speedup_vs_divides() {
+        let out = run_spmd(2, MachineModel::zero_comm(), |ctx| {
+            ctx.charge_seconds(1.0);
+        });
+        assert!((out.speedup_vs(2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_processes_work() {
+        // 100 simulated processors on a small host: the point of the design.
+        let out = run_spmd(100, MachineModel::intel_delta(), |ctx| {
+            ctx.all_reduce(1u64, |a, b| a + b)
+        });
+        assert!(out.results.iter().all(|&v| v == 100));
+    }
+}

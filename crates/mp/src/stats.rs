@@ -1,0 +1,108 @@
+//! Per-rank and per-run communication/computation accounting.
+
+/// Counters accumulated by one rank during an SPMD run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Messages sent by this rank (point-to-point, including those issued
+    /// on behalf of collectives).
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Virtual seconds spent in compute charges.
+    pub compute_time: f64,
+    /// Virtual seconds spent waiting for messages (clock jumps at receives)
+    /// plus send/receive CPU overheads.
+    pub comm_time: f64,
+}
+
+/// Aggregated statistics for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per rank.
+    pub per_rank: Vec<RankStats>,
+}
+
+impl RunStats {
+    /// Total messages sent across all ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Total payload bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Largest per-rank compute time (the critical path lower bound).
+    pub fn max_compute_time(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| r.compute_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of the busiest rank's time spent communicating, a rough
+    /// efficiency indicator: `comm / (comm + compute)` for the rank with
+    /// the largest total.
+    pub fn comm_fraction(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .map(|r| {
+                let tot = r.comm_time + r.compute_time;
+                if tot > 0.0 {
+                    r.comm_time / tot
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_ranks() {
+        let stats = RunStats {
+            per_rank: vec![
+                RankStats {
+                    msgs_sent: 2,
+                    bytes_sent: 100,
+                    compute_time: 1.0,
+                    comm_time: 1.0,
+                },
+                RankStats {
+                    msgs_sent: 3,
+                    bytes_sent: 50,
+                    compute_time: 2.0,
+                    comm_time: 0.5,
+                },
+            ],
+        };
+        assert_eq!(stats.total_msgs(), 5);
+        assert_eq!(stats.total_bytes(), 150);
+        assert_eq!(stats.max_compute_time(), 2.0);
+    }
+
+    #[test]
+    fn comm_fraction_bounded_by_one() {
+        let stats = RunStats {
+            per_rank: vec![RankStats {
+                msgs_sent: 1,
+                bytes_sent: 1,
+                compute_time: 0.0,
+                comm_time: 3.0,
+            }],
+        };
+        assert!((stats.comm_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_fraction() {
+        let stats = RunStats { per_rank: vec![] };
+        assert_eq!(stats.comm_fraction(), 0.0);
+        assert_eq!(stats.total_msgs(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Process topologies: logical 2-D and 3-D process grids.
+//!
+//! The mesh-spectral archetype distributes grids over an `NPX × NPY`
+//! (or `× NPZ`) arrangement of processes (paper §3.5.3: "distributing data
+//! in contiguous blocks among NPX×NPY processes conceptually arranged as an
+//! NPX by NPY grid"). These helpers map ranks to grid coordinates and give
+//! each process its neighbours for boundary exchange.
+
+/// A logical `px × py` arrangement of `px*py` processes, row-major:
+/// rank = `i * py + j` for coordinates `(i, j)` with `0 ≤ i < px`,
+/// `0 ≤ j < py`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessGrid2 {
+    /// Extent along the first (x / row-block) axis.
+    pub px: usize,
+    /// Extent along the second (y / column-block) axis.
+    pub py: usize,
+}
+
+impl ProcessGrid2 {
+    /// Create a grid; panics if either extent is zero.
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0, "process grid extents must be positive");
+        ProcessGrid2 { px, py }
+    }
+
+    /// Factor `n` into the most nearly square `px × py = n` grid with
+    /// `px ≤ py`.
+    pub fn near_square(n: usize) -> Self {
+        assert!(n > 0);
+        let mut px = (n as f64).sqrt() as usize;
+        while px > 1 && !n.is_multiple_of(px) {
+            px -= 1;
+        }
+        ProcessGrid2::new(px.max(1), n / px.max(1))
+    }
+
+    /// Total number of processes.
+    pub fn len(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// True when the grid is a single process.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank of process at coordinates `(i, j)`.
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.px && j < self.py);
+        i * self.py + j
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.len());
+        (rank / self.py, rank % self.py)
+    }
+
+    /// Neighbour one step in `-i` (returns `None` at the boundary).
+    pub fn north(&self, rank: usize) -> Option<usize> {
+        let (i, j) = self.coords_of(rank);
+        (i > 0).then(|| self.rank_of(i - 1, j))
+    }
+
+    /// Neighbour one step in `+i`.
+    pub fn south(&self, rank: usize) -> Option<usize> {
+        let (i, j) = self.coords_of(rank);
+        (i + 1 < self.px).then(|| self.rank_of(i + 1, j))
+    }
+
+    /// Neighbour one step in `-j`.
+    pub fn west(&self, rank: usize) -> Option<usize> {
+        let (i, j) = self.coords_of(rank);
+        (j > 0).then(|| self.rank_of(i, j - 1))
+    }
+
+    /// Neighbour one step in `+j`.
+    pub fn east(&self, rank: usize) -> Option<usize> {
+        let (i, j) = self.coords_of(rank);
+        (j + 1 < self.py).then(|| self.rank_of(i, j + 1))
+    }
+}
+
+/// A logical `px × py × pz` arrangement of processes, row-major:
+/// rank = `(i * py + j) * pz + k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessGrid3 {
+    /// Extent along the first axis.
+    pub px: usize,
+    /// Extent along the second axis.
+    pub py: usize,
+    /// Extent along the third axis.
+    pub pz: usize,
+}
+
+impl ProcessGrid3 {
+    /// Create a grid; panics if any extent is zero.
+    pub fn new(px: usize, py: usize, pz: usize) -> Self {
+        assert!(px > 0 && py > 0 && pz > 0);
+        ProcessGrid3 { px, py, pz }
+    }
+
+    /// Factor `n` into a near-cubic `px × py × pz = n` grid.
+    pub fn near_cubic(n: usize) -> Self {
+        assert!(n > 0);
+        let mut best = (1, 1, n);
+        let mut best_score = usize::MAX;
+        for px in 1..=n {
+            if !n.is_multiple_of(px) {
+                continue;
+            }
+            let rest = n / px;
+            for py in 1..=rest {
+                if !rest.is_multiple_of(py) {
+                    continue;
+                }
+                let pz = rest / py;
+                let dims = [px, py, pz];
+                let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+                if score < best_score {
+                    best_score = score;
+                    best = (px, py, pz);
+                }
+            }
+        }
+        ProcessGrid3::new(best.0, best.1, best.2)
+    }
+
+    /// Total number of processes.
+    pub fn len(&self) -> usize {
+        self.px * self.py * self.pz
+    }
+
+    /// True when the grid is a single process (never; kept for clippy).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank of process at `(i, j, k)`.
+    pub fn rank_of(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.px && j < self.py && k < self.pz);
+        (i * self.py + j) * self.pz + k
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize, usize) {
+        debug_assert!(rank < self.len());
+        let k = rank % self.pz;
+        let ij = rank / self.pz;
+        (ij / self.py, ij % self.py, k)
+    }
+
+    /// Neighbour one step along `axis` (0, 1 or 2) in direction `dir`
+    /// (−1 or +1); `None` at the domain boundary.
+    pub fn neighbor(&self, rank: usize, axis: usize, dir: isize) -> Option<usize> {
+        let (i, j, k) = self.coords_of(rank);
+        let coord = [i as isize, j as isize, k as isize];
+        let lim = [self.px as isize, self.py as isize, self.pz as isize];
+        let mut c = coord;
+        c[axis] += dir;
+        if c[axis] < 0 || c[axis] >= lim[axis] {
+            None
+        } else {
+            Some(self.rank_of(c[0] as usize, c[1] as usize, c[2] as usize))
+        }
+    }
+}
+
+/// Split a global extent `n` into `parts` contiguous blocks; block `idx`
+/// gets `[start, start+len)`. Remainder elements go to the first blocks,
+/// so sizes differ by at most one.
+pub fn block_range(n: usize, parts: usize, idx: usize) -> (usize, usize) {
+    debug_assert!(idx < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let len = base + usize::from(idx < rem);
+    let start = idx * base + idx.min(rem);
+    (start, len)
+}
+
+/// Which block of `block_range(n, parts, ·)` owns global index `g`.
+pub fn block_owner(n: usize, parts: usize, g: usize) -> usize {
+    debug_assert!(g < n);
+    let base = n / parts;
+    let rem = n % parts;
+    let big = (base + 1) * rem; // elements covered by the larger blocks
+    if g < big {
+        g / (base + 1)
+    } else {
+        rem + (g - big) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_rank_coords_roundtrip() {
+        let g = ProcessGrid2::new(3, 4);
+        for r in 0..g.len() {
+            let (i, j) = g.coords_of(r);
+            assert_eq!(g.rank_of(i, j), r);
+        }
+    }
+
+    #[test]
+    fn grid2_neighbors_at_edges() {
+        let g = ProcessGrid2::new(2, 3);
+        // rank 0 = (0,0): no north, no west
+        assert_eq!(g.north(0), None);
+        assert_eq!(g.west(0), None);
+        assert_eq!(g.south(0), Some(3));
+        assert_eq!(g.east(0), Some(1));
+        // rank 5 = (1,2): no south, no east
+        assert_eq!(g.south(5), None);
+        assert_eq!(g.east(5), None);
+        assert_eq!(g.north(5), Some(2));
+        assert_eq!(g.west(5), Some(4));
+    }
+
+    #[test]
+    fn near_square_factors_reasonably() {
+        assert_eq!(ProcessGrid2::near_square(16), ProcessGrid2::new(4, 4));
+        assert_eq!(ProcessGrid2::near_square(12), ProcessGrid2::new(3, 4));
+        assert_eq!(ProcessGrid2::near_square(7), ProcessGrid2::new(1, 7));
+        assert_eq!(ProcessGrid2::near_square(1), ProcessGrid2::new(1, 1));
+        for n in 1..=64 {
+            let g = ProcessGrid2::near_square(n);
+            assert_eq!(g.len(), n);
+        }
+    }
+
+    #[test]
+    fn grid3_rank_coords_roundtrip() {
+        let g = ProcessGrid3::new(2, 3, 4);
+        for r in 0..g.len() {
+            let (i, j, k) = g.coords_of(r);
+            assert_eq!(g.rank_of(i, j, k), r);
+        }
+    }
+
+    #[test]
+    fn grid3_neighbor_respects_boundaries() {
+        let g = ProcessGrid3::new(2, 2, 2);
+        assert_eq!(g.neighbor(0, 0, -1), None);
+        assert_eq!(g.neighbor(0, 0, 1), Some(g.rank_of(1, 0, 0)));
+        assert_eq!(g.neighbor(7, 2, 1), None);
+        assert_eq!(g.neighbor(7, 2, -1), Some(g.rank_of(1, 1, 0)));
+    }
+
+    #[test]
+    fn near_cubic_factors_exactly() {
+        for n in 1..=64 {
+            let g = ProcessGrid3::near_cubic(n);
+            assert_eq!(g.len(), n, "n={n}");
+        }
+        assert_eq!(ProcessGrid3::near_cubic(8), ProcessGrid3::new(2, 2, 2));
+        assert_eq!(ProcessGrid3::near_cubic(27), ProcessGrid3::new(3, 3, 3));
+    }
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in 1..=9 {
+                let mut covered = 0;
+                for idx in 0..parts {
+                    let (start, len) = block_range(n, parts, idx);
+                    assert_eq!(start, covered, "blocks must be contiguous");
+                    covered += len;
+                }
+                assert_eq!(covered, n, "blocks must cover exactly n");
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        for n in [10usize, 11, 97] {
+            for parts in 1..=8 {
+                let sizes: Vec<usize> =
+                    (0..parts).map(|i| block_range(n, parts, i).1).collect();
+                let mx = *sizes.iter().max().unwrap();
+                let mn = *sizes.iter().min().unwrap();
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn block_owner_inverts_block_range() {
+        for n in [1usize, 7, 64, 101] {
+            for parts in 1..=9 {
+                for idx in 0..parts {
+                    let (start, len) = block_range(n, parts, idx);
+                    for g in start..start + len {
+                        assert_eq!(block_owner(n, parts, g), idx, "n={n} parts={parts} g={g}");
+                    }
+                }
+            }
+        }
+    }
+}

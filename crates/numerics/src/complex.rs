@@ -1,0 +1,205 @@
+//! Minimal complex arithmetic for the FFT and spectral kernels.
+//!
+//! Written from scratch (no `num-complex`) to keep the dependency set to
+//! the approved list; only the operations the archetype applications need.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+// Complex values travel in messages during grid redistribution; the marker
+// declares their wire size as `size_of::<Complex>()`.
+archetype_mp::impl_fixed_size!(Complex);
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Complex zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A real number as a complex.
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        let d = o.norm_sqr();
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, o: Complex) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, o: Complex) {
+        *self = *self * o;
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + Complex::ONE), a * b + a));
+        assert!(close(a + (-a), Complex::ZERO));
+        assert!(close(a * Complex::ONE, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, -7.0);
+        let b = Complex::new(0.5, 1.5);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(Complex::cis(0.0), Complex::ONE));
+        assert!(close(
+            Complex::cis(std::f64::consts::FRAC_PI_2),
+            Complex::I
+        ));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Complex::from_re(25.0)));
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(2.0, -3.0);
+        let mut c = a;
+        c += b;
+        assert!(close(c, a + b));
+        c -= b;
+        assert!(close(c, a));
+        c *= b;
+        assert!(close(c, a * b));
+    }
+}

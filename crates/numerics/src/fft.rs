@@ -1,0 +1,223 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The 2-D FFT application of the mesh-spectral archetype (paper §3.5.1,
+//! after Numerical Recipes) performs an in-place 1-D FFT on every row and
+//! then on every column. This module supplies that 1-D building block:
+//! in-place, power-of-two lengths, forward and inverse (inverse scales by
+//! `1/n` so `ifft(fft(x)) == x`).
+
+use crate::complex::Complex;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `X[k] = Σ x[j]·e^{−2πi jk/n}`
+    Forward,
+    /// `x[j] = (1/n) Σ X[k]·e^{+2πi jk/n}`
+    Inverse,
+}
+
+/// In-place FFT of `data` in the given direction.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (including 1).
+pub fn fft_in_place(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Forward FFT, returning a new vector.
+///
+/// ```
+/// use archetype_numerics::{fft, ifft, Complex};
+/// let x: Vec<Complex> = (0..8).map(|i| Complex::from_re(i as f64)).collect();
+/// let back = ifft(&fft(&x));
+/// for (a, b) in back.iter().zip(&x) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft(data: &[Complex]) -> Vec<Complex> {
+    let mut out = data.to_vec();
+    fft_in_place(&mut out, Direction::Forward);
+    out
+}
+
+/// Inverse FFT, returning a new vector.
+pub fn ifft(data: &[Complex]) -> Vec<Complex> {
+    let mut out = data.to_vec();
+    fft_in_place(&mut out, Direction::Inverse);
+    out
+}
+
+/// Naive O(n²) DFT; the oracle the FFT is tested against.
+pub fn dft_naive(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = data.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+            *o += x * Complex::cis(ang);
+        }
+    }
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in out.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+    out
+}
+
+/// Modeled flop count of one radix-2 FFT of length `n`: the standard
+/// `5 n log₂ n` real-flop estimate, used by the virtual-time figures.
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex::new((0.3 * t).sin() + 0.1 * t, (0.7 * t).cos() - 0.05 * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = test_signal(n);
+            let fast = fft(&x);
+            let slow = dft_naive(&x, Direction::Forward);
+            assert!(max_err(&fast, &slow) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [1usize, 2, 16, 256, 1024] {
+            let x = test_signal(n);
+            let back = ifft(&fft(&x));
+            assert!(max_err(&back, &x) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        for z in &y {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * (j * k0) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, z) in y.iter().enumerate() {
+            let expected = if k == k0 { n as f64 } else { 0.0 };
+            assert!((z.abs() - expected).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let x = test_signal(n);
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-6 * ex.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let x = test_signal(n);
+        let y: Vec<Complex> = test_signal(n).iter().map(|z| z.conj()).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let lhs = fft(&sum);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let rhs: Vec<Complex> = fx.iter().zip(&fy).map(|(a, b)| *a + *b).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_in_place(&mut x, Direction::Forward);
+    }
+
+    #[test]
+    fn flop_model_grows_superlinearly() {
+        assert!(fft_flops(2048) > 2.0 * fft_flops(1024));
+        assert_eq!(fft_flops(1), 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Sorting showdown: one-deep mergesort vs one-deep quicksort vs the
+//! traditional tree mergesort, raced in virtual time on two machine
+//! models — a miniature of the paper's Figure 6 experiment.
+//!
+//! Run with: `cargo run --example sorting_showdown --release`
+
+use parallel_archetypes::dc::skeleton::run_spmd as dc_spmd;
+use parallel_archetypes::dc::traditional::{sort_flops, tree_mergesort_distributed_spmd};
+use parallel_archetypes::dc::{OneDeepMergesort, OneDeepQuicksort};
+use parallel_archetypes::mp::{run_spmd, CostMeter, MachineModel};
+
+fn blocks(n: usize, p: usize) -> Vec<Vec<i64>> {
+    let data: Vec<i64> = (0..n).map(|i| ((i as i64) * 16807) % 999_983 - 500_000).collect();
+    (0..p)
+        .map(|r| {
+            let (s, l) = parallel_archetypes::mp::topology::block_range(n, p, r);
+            data[s..s + l].to_vec()
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 500_000;
+    let p = 16;
+    for model in [MachineModel::intel_delta(), MachineModel::ibm_sp()] {
+        let mut seq = CostMeter::new(model);
+        seq.charge_flops(sort_flops(n));
+        let t_seq = seq.elapsed();
+
+        let input = blocks(n, p);
+
+        let t_ms = run_spmd(p, model, |ctx| {
+            let alg = OneDeepMergesort::<i64>::new();
+            dc_spmd(&alg, ctx, input[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+
+        let t_qs = run_spmd(p, model, |ctx| {
+            let alg = OneDeepQuicksort::<i64>::new();
+            dc_spmd(&alg, ctx, input[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+
+        let t_tr = run_spmd(p, model, |ctx| {
+            tree_mergesort_distributed_spmd(ctx, input[ctx.rank()].clone());
+        })
+        .elapsed_virtual;
+
+        println!("\n{} — {n} integers on {p} processes:", model.name);
+        println!("  sequential mergesort (modeled): {:>8.1} ms", t_seq * 1e3);
+        println!(
+            "  one-deep mergesort:             {:>8.1} ms  (speedup {:>5.1})",
+            t_ms * 1e3,
+            t_seq / t_ms
+        );
+        println!(
+            "  one-deep quicksort:             {:>8.1} ms  (speedup {:>5.1})",
+            t_qs * 1e3,
+            t_seq / t_qs
+        );
+        println!(
+            "  traditional tree mergesort:     {:>8.1} ms  (speedup {:>5.1})",
+            t_tr * 1e3,
+            t_seq / t_tr
+        );
+    }
+}

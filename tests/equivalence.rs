@@ -1,0 +1,214 @@
+//! Cross-crate integration tests of the paper's central claim: the
+//! archetype transformations preserve semantics, so the sequential
+//! version 1, the rayon version 1, and the distributed-memory version 2
+//! of every application compute the same thing.
+
+use parallel_archetypes::core::ExecutionMode;
+use parallel_archetypes::dc::skeleton::{run_shared, run_spmd as dc_spmd};
+use parallel_archetypes::dc::{
+    concat_skyline, global_closest, sequential_closest, sequential_mergesort, sequential_skyline,
+    Building, OneDeepClosest, OneDeepHull, OneDeepMergesort, OneDeepQuicksort, OneDeepSkyline,
+    Point,
+};
+use parallel_archetypes::mesh::apps::airshed::{airshed_shared, airshed_spmd, AirshedSpec};
+use parallel_archetypes::mesh::apps::cfd::{cfd_shared, cfd_spmd, shock_sine_init, CfdSpec};
+use parallel_archetypes::mesh::apps::poisson::{poisson_shared, poisson_spmd, sine_problem};
+use parallel_archetypes::mp::{run_spmd, MachineModel, ProcessGrid2};
+
+fn int_blocks(nblocks: usize, per: usize, seed: i64) -> Vec<Vec<i64>> {
+    (0..nblocks)
+        .map(|b| {
+            (0..per)
+                .map(|i| ((b * per + i) as i64 * 48271 + seed) % 65521 - 32000)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn mergesort_three_way_equivalence() {
+    let alg = OneDeepMergesort::<i64>::new();
+    for p in [1usize, 2, 5, 8] {
+        let input = int_blocks(p, 400, 7);
+        let seq = run_shared(&alg, input.clone(), ExecutionMode::Sequential, None);
+        let par = run_shared(&alg, input.clone(), ExecutionMode::Parallel, None);
+        let spmd = run_spmd(p, MachineModel::intel_delta(), |ctx| {
+            let alg = OneDeepMergesort::<i64>::new();
+            dc_spmd(&alg, ctx, input[ctx.rank()].clone())
+        })
+        .results;
+        assert_eq!(seq, par, "p={p}");
+        assert_eq!(seq, spmd, "p={p}");
+        // And all agree with the reference sequential algorithm.
+        let flat: Vec<i64> = seq.into_iter().flatten().collect();
+        let reference = sequential_mergesort(input.into_iter().flatten().collect());
+        assert_eq!(flat, reference);
+    }
+}
+
+#[test]
+fn quicksort_three_way_equivalence() {
+    let alg = OneDeepQuicksort::<i64>::new();
+    for p in [1usize, 3, 4, 7] {
+        let input = int_blocks(p, 300, 99);
+        let seq = run_shared(&alg, input.clone(), ExecutionMode::Sequential, None);
+        let par = run_shared(&alg, input.clone(), ExecutionMode::Parallel, None);
+        let spmd = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+            let alg = OneDeepQuicksort::<i64>::new();
+            dc_spmd(&alg, ctx, input[ctx.rank()].clone())
+        })
+        .results;
+        assert_eq!(seq, par, "p={p}");
+        assert_eq!(seq, spmd, "p={p}");
+    }
+}
+
+#[test]
+fn skyline_three_way_equivalence() {
+    let inputs: Vec<Vec<Building>> = (0..5)
+        .map(|b| {
+            (0..40)
+                .map(|i| {
+                    let s = (b * 40 + i) as f64;
+                    let left = (s * 3.7) % 200.0;
+                    Building::new(left, 1.0 + (s * 7.1) % 30.0, left + 1.0 + (s * 2.3) % 12.0)
+                })
+                .collect()
+        })
+        .collect();
+    let all: Vec<Building> = inputs.iter().flatten().copied().collect();
+    let seq = run_shared(&OneDeepSkyline, inputs.clone(), ExecutionMode::Sequential, None);
+    let par = run_shared(&OneDeepSkyline, inputs.clone(), ExecutionMode::Parallel, None);
+    let spmd = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+        dc_spmd(&OneDeepSkyline, ctx, inputs[ctx.rank()].clone())
+    })
+    .results;
+    assert_eq!(seq, par);
+    assert_eq!(seq, spmd);
+    assert_eq!(concat_skyline(&seq), sequential_skyline(&all));
+}
+
+#[test]
+fn hull_and_closest_pair_equivalence() {
+    let pts: Vec<Point> = (0..400)
+        .map(|i| {
+            let s = i as f64;
+            Point::new((s * 37.1) % 500.0, (s * 59.3) % 500.0)
+        })
+        .collect();
+    let inputs: Vec<Vec<Point>> = pts.chunks(100).map(<[Point]>::to_vec).collect();
+
+    let hull_seq = run_shared(&OneDeepHull::new(), inputs.clone(), ExecutionMode::Sequential, None);
+    let hull_spmd = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+        dc_spmd(&OneDeepHull::new(), ctx, inputs[ctx.rank()].clone())
+    })
+    .results;
+    assert_eq!(hull_seq, hull_spmd);
+
+    let close_seq = run_shared(
+        &OneDeepClosest::new(),
+        inputs.clone(),
+        ExecutionMode::Sequential,
+        None,
+    );
+    let close_spmd = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+        dc_spmd(&OneDeepClosest::new(), ctx, inputs[ctx.rank()].clone())
+    })
+    .results;
+    let expected = sequential_closest(&pts);
+    assert!((global_closest(&close_seq) - expected).abs() < 1e-9);
+    assert!((global_closest(&close_spmd) - expected).abs() < 1e-9);
+}
+
+#[test]
+fn poisson_equivalence_across_process_grids() {
+    let spec = sine_problem(18, 1e-4, 2_000);
+    let reference = poisson_shared(&spec, ExecutionMode::Sequential);
+    for (px, py) in [(1, 2), (3, 3), (2, 4)] {
+        let pg = ProcessGrid2::new(px, py);
+        let out = run_spmd(pg.len(), MachineModel::cray_t3d(), move |ctx| {
+            poisson_spmd(ctx, &spec, pg)
+        });
+        assert_eq!(out.results[0].iters, reference.iters, "{px}x{py}");
+        assert_eq!(
+            out.results[0].grid.as_ref().unwrap(),
+            reference.grid.as_ref().unwrap(),
+            "{px}x{py}"
+        );
+    }
+}
+
+#[test]
+fn cfd_equivalence_on_workstation_network_model() {
+    // The machine model must never affect results — only timing.
+    let spec = CfdSpec {
+        nx: 20,
+        ny: 10,
+        lx: 1.0,
+        ly: 0.5,
+        cfl: 0.4,
+        steps: 6,
+    };
+    let reference = cfd_shared(&spec, ExecutionMode::Sequential, |i, j| {
+        shock_sine_init(&spec, i, j)
+    });
+    for model in [
+        MachineModel::intel_delta(),
+        MachineModel::workstation_network(),
+        MachineModel::zero_comm(),
+    ] {
+        let pg = ProcessGrid2::new(2, 2);
+        let out = run_spmd(4, model, move |ctx| {
+            cfd_spmd(ctx, &spec, pg, |i, j| shock_sine_init(&spec, i, j))
+        });
+        assert_eq!(
+            out.results[0].grid.as_ref().unwrap(),
+            reference.grid.as_ref().unwrap(),
+            "{}",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn airshed_equivalence() {
+    let spec = AirshedSpec {
+        nx: 14,
+        ny: 12,
+        wind: (0.3, -0.2),
+        diffusion: 0.04,
+        j_rate: 0.3,
+        k_rate: 2.0,
+        dt: 0.2,
+        steps: 10,
+        source: (7, 6, 0.5),
+    };
+    let reference = airshed_shared(&spec, ExecutionMode::Sequential);
+    let pg = ProcessGrid2::new(2, 3);
+    let out = run_spmd(6, MachineModel::ibm_sp(), move |ctx| {
+        airshed_spmd(ctx, &spec, pg)
+    });
+    assert_eq!(
+        out.results[0].grid.as_ref().unwrap(),
+        reference.grid.as_ref().unwrap()
+    );
+    assert_eq!(out.results[0].peak_o3, reference.peak_o3);
+}
+
+#[test]
+fn virtual_time_is_machine_dependent_but_results_are_not() {
+    let input = int_blocks(4, 500, 3);
+    let run_on = |model: MachineModel| {
+        run_spmd(4, model, |ctx| {
+            let alg = OneDeepMergesort::<i64>::new();
+            dc_spmd(&alg, ctx, input[ctx.rank()].clone())
+        })
+    };
+    let fast = run_on(MachineModel::cray_t3d());
+    let slow = run_on(MachineModel::workstation_network());
+    assert_eq!(fast.results, slow.results, "results identical");
+    assert!(
+        fast.elapsed_virtual < slow.elapsed_virtual,
+        "the T3D model must be faster than Ethernet workstations"
+    );
+}

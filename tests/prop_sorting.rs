@@ -1,0 +1,79 @@
+//! Property-based tests of the one-deep sorting applications: for
+//! arbitrary inputs and block structures, the output is sorted, is a
+//! permutation of the input, has ordered block boundaries, and is
+//! identical across execution modes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use parallel_archetypes::core::ExecutionMode;
+use parallel_archetypes::dc::skeleton::run_shared;
+use parallel_archetypes::dc::{sequential_mergesort, OneDeepMergesort, OneDeepQuicksort};
+
+/// Arbitrary block structure: up to 6 blocks of up to 80 items each,
+/// possibly empty, possibly with duplicates.
+fn arb_blocks() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    vec(vec(-1000i64..1000, 0..80), 1..6)
+}
+
+fn sorted_copy(blocks: &[Vec<i64>]) -> Vec<i64> {
+    let mut all: Vec<i64> = blocks.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_deep_mergesort_sorts_any_input(blocks in arb_blocks()) {
+        let alg = OneDeepMergesort::<i64>::new();
+        let expected = sorted_copy(&blocks);
+        let out = run_shared(&alg, blocks, ExecutionMode::Sequential, None);
+        // Concatenation is the sorted permutation of the input.
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, expected);
+        // Block boundaries are ordered.
+        for w in out.windows(2) {
+            if let (Some(a), Some(b)) = (w[0].last(), w[1].first()) {
+                prop_assert!(a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn one_deep_quicksort_sorts_any_input(blocks in arb_blocks()) {
+        let alg = OneDeepQuicksort::<i64>::new();
+        let expected = sorted_copy(&blocks);
+        let out = run_shared(&alg, blocks, ExecutionMode::Sequential, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn modes_agree_for_any_input(blocks in arb_blocks()) {
+        let alg = OneDeepMergesort::<i64>::new();
+        let seq = run_shared(&alg, blocks.clone(), ExecutionMode::Sequential, None);
+        let par = run_shared(&alg, blocks, ExecutionMode::Parallel, None);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sequential_mergesort_matches_std(mut input in vec(-5000i64..5000, 0..300)) {
+        let got = sequential_mergesort(input.clone());
+        input.sort_unstable();
+        prop_assert_eq!(got, input);
+    }
+
+    #[test]
+    fn oversample_parameter_never_affects_correctness(
+        blocks in arb_blocks(),
+        oversample in 1usize..40,
+    ) {
+        let alg = OneDeepMergesort::<i64>::with_oversample(oversample);
+        let expected = sorted_copy(&blocks);
+        let out = run_shared(&alg, blocks, ExecutionMode::Sequential, None);
+        let flat: Vec<i64> = out.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, expected);
+    }
+}

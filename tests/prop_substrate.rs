@@ -1,0 +1,138 @@
+//! Property-based tests of the message-passing substrate and numerical
+//! kernels: collectives against their sequential definitions, virtual-time
+//! determinism and monotonicity, FFT round-trips, and redistribution
+//! round-trips for arbitrary matrix shapes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use parallel_archetypes::mesh::redist::{cols_to_rows, rows_to_cols, RowDist};
+use parallel_archetypes::mp::topology::{block_owner, block_range};
+use parallel_archetypes::mp::{run_spmd, MachineModel};
+use parallel_archetypes::numerics::{fft, ifft, Complex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_reduce_equals_sequential_fold(
+        values in vec(-1000i64..1000, 1..12),
+    ) {
+        let n = values.len();
+        let expected: i64 = values.iter().sum();
+        let out = run_spmd(n, MachineModel::ibm_sp(), |ctx| {
+            ctx.all_reduce(values[ctx.rank()], |a, b| a + b)
+        });
+        for v in out.results {
+            prop_assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn all_gather_preserves_rank_order(values in vec(any::<u32>(), 1..10)) {
+        let n = values.len();
+        let out = run_spmd(n, MachineModel::cray_t3d(), |ctx| {
+            ctx.all_gather(values[ctx.rank()])
+        });
+        for got in out.results {
+            prop_assert_eq!(&got, &values);
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_a_transpose(n in 1usize..9, seed in any::<u32>()) {
+        let out = run_spmd(n, MachineModel::ibm_sp(), move |ctx| {
+            let items: Vec<u64> = (0..ctx.nprocs() as u64)
+                .map(|d| ctx.rank() as u64 * 1000 + d + seed as u64)
+                .collect();
+            ctx.all_to_all(items)
+        });
+        for (me, got) in out.results.iter().enumerate() {
+            for (s, &v) in got.iter().enumerate() {
+                prop_assert_eq!(v, s as u64 * 1000 + me as u64 + seed as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic(n in 1usize..9, work in 0.0f64..10.0) {
+        let run = || {
+            run_spmd(n, MachineModel::intel_delta(), |ctx| {
+                ctx.charge_seconds(work * (ctx.rank() + 1) as f64);
+                ctx.barrier();
+                ctx.all_reduce(1u64, |a, b| a + b);
+                ctx.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.rank_times, b.rank_times);
+    }
+
+    #[test]
+    fn more_compute_never_reduces_elapsed_time(n in 2usize..8, work in 0.0f64..5.0) {
+        let elapsed = |w: f64| {
+            run_spmd(n, MachineModel::ibm_sp(), move |ctx| {
+                ctx.charge_seconds(w);
+                ctx.barrier();
+            })
+            .elapsed_virtual
+        };
+        prop_assert!(elapsed(work + 1.0) >= elapsed(work));
+    }
+
+    #[test]
+    fn fft_round_trip_on_arbitrary_signals(
+        re in vec(-100.0f64..100.0, 1..65),
+    ) {
+        // Pad to the next power of two.
+        let n = re.len().next_power_of_two();
+        let mut signal: Vec<Complex> = re.iter().map(|&r| Complex::new(r, -r / 3.0)).collect();
+        signal.resize(n, Complex::ZERO);
+        let back = ifft(&fft(&signal));
+        for (a, b) in back.iter().zip(&signal) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(re in vec(-10.0f64..10.0, 1..33)) {
+        let n = re.len().next_power_of_two();
+        let mut signal: Vec<Complex> = re.iter().map(|&r| Complex::from_re(r)).collect();
+        signal.resize(n, Complex::ZERO);
+        let spectrum = fft(&signal);
+        let et: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let ef: f64 = spectrum.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((et - ef).abs() <= 1e-9 * et.max(1.0));
+    }
+
+    #[test]
+    fn redistribution_round_trip(
+        p in 1usize..6,
+        nrows in 1usize..20,
+        ncols in 1usize..20,
+    ) {
+        run_spmd(p, MachineModel::ibm_sp(), move |ctx| {
+            let rd = RowDist::from_global(ctx.rank(), ctx.nprocs(), nrows, ncols, |r, c| {
+                (r * 1000 + c) as f64
+            });
+            let cd = rows_to_cols(ctx, &rd);
+            let back = cols_to_rows(ctx, &cd);
+            assert_eq!(back, rd);
+        });
+    }
+
+    #[test]
+    fn block_range_and_owner_are_inverse(n in 1usize..200, parts in 1usize..17) {
+        let mut covered = 0usize;
+        for idx in 0..parts {
+            let (start, len) = block_range(n, parts, idx);
+            prop_assert_eq!(start, covered);
+            covered += len;
+            for g in start..start + len {
+                prop_assert_eq!(block_owner(n, parts, g), idx);
+            }
+        }
+        prop_assert_eq!(covered, n);
+    }
+}
