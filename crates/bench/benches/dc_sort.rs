@@ -16,7 +16,9 @@ fn random_i64s(n: usize, seed: u64) -> Vec<i64> {
     let mut s = seed;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 16) as i64 % 1_000_000
         })
         .collect()
@@ -82,7 +84,11 @@ fn bench_skyline(c: &mut Criterion) {
         .map(|i| {
             let seed = i as f64;
             let left = (seed * 7.31) % 1000.0;
-            Building::new(left, 1.0 + (seed * 3.7) % 80.0, left + 1.0 + (seed * 1.9) % 20.0)
+            Building::new(
+                left,
+                1.0 + (seed * 3.7) % 80.0,
+                left + 1.0 + (seed * 1.9) % 20.0,
+            )
         })
         .collect();
     let mut g = c.benchmark_group("skyline_20k");

@@ -46,7 +46,10 @@ fn main() {
         },
     ];
     print_figure(
-        &format!("Ablation: Poisson data distribution, {n}x{n} grid, {steps} steps, {}", model.name),
+        &format!(
+            "Ablation: Poisson data distribution, {n}x{n} grid, {steps} steps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("ablation_distribution", &curves);

@@ -57,7 +57,10 @@ fn main() {
         },
     ];
     print_figure(
-        &format!("Ablation: boundary refresh strategy, {N}x{N} grid, {STEPS} steps, {}", model.name),
+        &format!(
+            "Ablation: boundary refresh strategy, {N}x{N} grid, {STEPS} steps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("ablation_exchange", &curves);

@@ -44,13 +44,21 @@ fn main() {
             },
         ];
         print_figure(
-            &format!("Ablation: all-reduce algorithm, 100 reductions, {}", model.name),
+            &format!(
+                "Ablation: all-reduce algorithm, 100 reductions, {}",
+                model.name
+            ),
             &curves,
         );
         write_figure_csv(
             &format!(
                 "ablation_reduction_{}",
-                model.name.split_whitespace().next().unwrap_or("m").to_lowercase()
+                model
+                    .name
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("m")
+                    .to_lowercase()
             ),
             &curves,
         );

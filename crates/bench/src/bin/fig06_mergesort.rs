@@ -7,7 +7,9 @@
 //! traditional saturates early because the split inspects all input at the
 //! root and the merge tree's final levels are sequential.
 
-use archetype_bench::{print_figure, random_i64s, split_blocks, write_figure_csv, Curve, SpeedupPoint};
+use archetype_bench::{
+    print_figure, random_i64s, split_blocks, write_figure_csv, Curve, SpeedupPoint,
+};
 use archetype_dc::mergesort::OneDeepMergesort;
 use archetype_dc::skeleton::run_spmd as dc_spmd;
 use archetype_dc::traditional::{sort_flops, tree_mergesort_distributed_spmd};

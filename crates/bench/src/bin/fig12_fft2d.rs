@@ -12,7 +12,11 @@ use archetype_mp::{run_spmd, CostMeter, MachineModel};
 use archetype_numerics::Complex;
 
 fn main() {
-    let n: usize = if archetype_bench::full_scale() { 512 } else { 256 };
+    let n: usize = if archetype_bench::full_scale() {
+        512
+    } else {
+        256
+    };
     let reps = 10usize;
     let model = MachineModel::ibm_sp();
     let ps = [1usize, 2, 4, 8, 16, 24, 32];
@@ -38,7 +42,10 @@ fn main() {
         points,
     }];
     print_figure(
-        &format!("Figure 12: 2-D FFT speedup, {n}x{n} grid, {reps} reps, {}", model.name),
+        &format!(
+            "Figure 12: 2-D FFT speedup, {n}x{n} grid, {reps} reps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("fig12_fft2d", &curves);

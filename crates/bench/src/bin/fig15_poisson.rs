@@ -11,7 +11,11 @@ use archetype_mesh::apps::poisson::{poisson_spmd, poisson_sweep_flops, sine_prob
 use archetype_mp::{run_spmd, CostMeter, MachineModel, ProcessGrid2};
 
 fn main() {
-    let n: usize = if archetype_bench::full_scale() { 1024 } else { 512 };
+    let n: usize = if archetype_bench::full_scale() {
+        1024
+    } else {
+        512
+    };
     let steps = 100usize;
     let model = MachineModel::ibm_sp();
     let ps = [1usize, 2, 4, 8, 16, 25, 36];
@@ -39,7 +43,10 @@ fn main() {
         points,
     }];
     print_figure(
-        &format!("Figure 15: Poisson speedup, {n}x{n} grid, {steps} steps, {}", model.name),
+        &format!(
+            "Figure 15: Poisson speedup, {n}x{n} grid, {steps} steps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("fig15_poisson", &curves);

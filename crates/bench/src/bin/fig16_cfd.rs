@@ -47,7 +47,10 @@ fn main() {
         points,
     }];
     print_figure(
-        &format!("Figure 16: CFD speedup, {nx}x{ny} grid, {steps} steps, {}", model.name),
+        &format!(
+            "Figure 16: CFD speedup, {nx}x{ny} grid, {steps} steps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("fig16_cfd", &curves);

@@ -42,7 +42,10 @@ fn main() {
         points,
     }];
     print_figure(
-        &format!("Figure 17: EM speedup, {n}^3 grid, {steps} steps, {}", model.name),
+        &format!(
+            "Figure 17: EM speedup, {n}^3 grid, {steps} steps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("fig17_em", &curves);

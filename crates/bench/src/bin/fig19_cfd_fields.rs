@@ -27,10 +27,20 @@ fn snapshot(spec: &CfdSpec, tag: &str) {
     let vor = vorticity_field(&grid, spec.nx, spec.ny, dx, dy);
 
     let dir = figures_dir();
-    write_pgm(&dir.join(format!("fig19_density_{tag}.pgm")), &rho, spec.nx, spec.ny)
-        .expect("write density PGM");
-    write_pgm(&dir.join(format!("fig20_vorticity_{tag}.pgm")), &vor, spec.nx, spec.ny)
-        .expect("write vorticity PGM");
+    write_pgm(
+        &dir.join(format!("fig19_density_{tag}.pgm")),
+        &rho,
+        spec.nx,
+        spec.ny,
+    )
+    .expect("write density PGM");
+    write_pgm(
+        &dir.join(format!("fig20_vorticity_{tag}.pgm")),
+        &vor,
+        spec.nx,
+        spec.ny,
+    )
+    .expect("write vorticity PGM");
     println!(
         "{tag}: t = {time:.4}, density range [{:.3}, {:.3}], |vorticity| max {:.3}",
         rho.iter().copied().fold(f64::INFINITY, f64::min),

@@ -29,8 +29,7 @@ fn main() {
     let v = azimuthal_velocity(&spec, &u);
 
     let dir = figures_dir();
-    write_pgm(&dir.join("fig21_azimuthal_velocity.pgm"), &v, nr, ntheta)
-        .expect("write PGM");
+    write_pgm(&dir.join("fig21_azimuthal_velocity.pgm"), &v, nr, ntheta).expect("write PGM");
     println!(
         "azimuthal velocity range [{:.3}, {:.3}]; image written to {}",
         v.iter().copied().fold(f64::INFINITY, f64::min),

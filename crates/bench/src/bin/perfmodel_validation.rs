@@ -42,7 +42,10 @@ fn main() {
         },
     ];
     print_figure(
-        &format!("Performance model: Poisson {n}x{n}, {steps} sweeps, {}", model.name),
+        &format!(
+            "Performance model: Poisson {n}x{n}, {steps} sweeps, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("perfmodel_poisson", &curves);
@@ -79,7 +82,10 @@ fn main() {
         },
     ];
     print_figure(
-        &format!("Performance model: one-deep mergesort, {nitems} items, {}", model.name),
+        &format!(
+            "Performance model: one-deep mergesort, {nitems} items, {}",
+            model.name
+        ),
         &curves,
     );
     write_figure_csv("perfmodel_mergesort", &curves);

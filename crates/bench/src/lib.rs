@@ -29,10 +29,9 @@ use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 
 /// One point of a speedup curve.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SpeedupPoint {
     /// Simulated processor count.
     pub p: usize,
@@ -57,7 +56,7 @@ impl SpeedupPoint {
 }
 
 /// A named speedup curve (one line of a figure).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Curve {
     /// Legend label (e.g. "one-deep mergesort").
     pub label: String,

@@ -57,7 +57,9 @@ impl<N> PartialOrd for Prioritized<N> {
 }
 impl<N> Ord for Prioritized<N> {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.bound.partial_cmp(&other.bound).unwrap_or(Ordering::Equal)
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -93,7 +95,10 @@ pub fn solve_sequential<B: BranchAndBound>(problem: &B) -> (f64, BnbStats) {
         for child in problem.branch(&node) {
             let b = problem.bound(&child);
             if b > best {
-                heap.push(Prioritized { bound: b, node: child });
+                heap.push(Prioritized {
+                    bound: b,
+                    node: child,
+                });
             } else {
                 stats.pruned += 1;
             }
@@ -220,7 +225,10 @@ where
             for child in problem.branch(&node) {
                 let b = problem.bound(&child);
                 if b > best {
-                    heap.push(Prioritized { bound: b, node: child });
+                    heap.push(Prioritized {
+                        bound: b,
+                        node: child,
+                    });
                 } else {
                     stats.pruned += 1;
                 }
@@ -229,12 +237,8 @@ where
         ctx.charge_items(expanded_this_round.max(1), 200.0);
 
         // Share the incumbent and detect termination in one reduction.
-        let useful = heap
-            .iter()
-            .filter(|pr| pr.bound > best)
-            .count() as f64;
-        let (gbest, remaining) =
-            ctx.all_reduce((best, useful), |a, b| (a.0.max(b.0), a.1 + b.1));
+        let useful = heap.iter().filter(|pr| pr.bound > best).count() as f64;
+        let (gbest, remaining) = ctx.all_reduce((best, useful), |a, b| (a.0.max(b.0), a.1 + b.1));
         best = gbest;
         if remaining == 0.0 {
             return (best, stats);
@@ -274,8 +278,7 @@ mod tests {
             (sum + 2 * (self.depth - node.len()) as u64) as f64
         }
         fn value(&self, node: &Vec<u8>) -> Option<f64> {
-            (node.len() == self.depth)
-                .then(|| node.iter().map(|&d| d as f64).sum())
+            (node.len() == self.depth).then(|| node.iter().map(|&d| d as f64).sum())
         }
     }
 
@@ -283,7 +286,7 @@ mod tests {
     fn sequential_finds_the_obvious_optimum() {
         let (best, stats) = solve_sequential(&DigitTree { depth: 5 });
         assert_eq!(best, 10.0); // all 2s
-        // Best-first with an exact bound walks straight to the optimum.
+                                // Best-first with an exact bound walks straight to the optimum.
         assert!(stats.expanded <= 6, "expanded {}", stats.expanded);
     }
 

@@ -176,7 +176,13 @@ mod tests {
     #[test]
     fn reduce_integer_sum_agrees_across_modes() {
         for n in [0usize, 1, 2, 1000] {
-            let seq = parfor_reduce(ExecutionMode::Sequential, n, 0u64, |i| i as u64, |a, b| a + b);
+            let seq = parfor_reduce(
+                ExecutionMode::Sequential,
+                n,
+                0u64,
+                |i| i as u64,
+                |a, b| a + b,
+            );
             let par = parfor_reduce(ExecutionMode::Parallel, n, 0u64, |i| i as u64, |a, b| a + b);
             assert_eq!(seq, par, "n={n}");
             assert_eq!(seq, (n as u64).saturating_sub(1) * n as u64 / 2);

@@ -271,12 +271,18 @@ mod tests {
     }
 
     fn pseudo_random_points(n: usize, seed: u64) -> Vec<Point> {
-        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut s = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| p(next() * 1000.0, next() * 1000.0)).collect()
+        (0..n)
+            .map(|_| p(next() * 1000.0, next() * 1000.0))
+            .collect()
     }
 
     #[test]
@@ -314,7 +320,12 @@ mod tests {
                 v.truncate(n);
                 v
             };
-            let out = run_shared(&OneDeepClosest::new(), inputs, ExecutionMode::Sequential, None);
+            let out = run_shared(
+                &OneDeepClosest::new(),
+                inputs,
+                ExecutionMode::Sequential,
+                None,
+            );
             let got = global_closest(&out);
             assert!((got - expected).abs() < 1e-9, "n={n}: {got} vs {expected}");
         }
@@ -330,7 +341,12 @@ mod tests {
         ];
         let all: Vec<Point> = inputs.iter().flatten().copied().collect();
         let expected = sequential_closest(&all); // 0.2 across the boundary
-        let out = run_shared(&OneDeepClosest::new(), inputs, ExecutionMode::Sequential, None);
+        let out = run_shared(
+            &OneDeepClosest::new(),
+            inputs,
+            ExecutionMode::Sequential,
+            None,
+        );
         let got = global_closest(&out);
         assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
         assert!((got - 0.2).abs() < 1e-6);
@@ -354,7 +370,12 @@ mod tests {
     #[test]
     fn sparse_processes_with_too_few_points() {
         let inputs = vec![vec![p(0.0, 0.0)], vec![], vec![p(0.0, 1.5)]];
-        let out = run_shared(&OneDeepClosest::new(), inputs, ExecutionMode::Sequential, None);
+        let out = run_shared(
+            &OneDeepClosest::new(),
+            inputs,
+            ExecutionMode::Sequential,
+            None,
+        );
         assert!((global_closest(&out) - 1.5).abs() < 1e-9);
     }
 }

@@ -96,7 +96,7 @@ pub fn canonicalize_skyline(points: &[SkyPoint]) -> Vec<SkyPoint> {
         if let Some(last) = out.last_mut() {
             if last.x == p.x {
                 last.h = p.h; // later point at same x wins
-                // May now equal the height before it; fix below.
+                              // May now equal the height before it; fix below.
                 if out.len() >= 2 && out[out.len() - 2].h == out[out.len() - 1].h {
                     out.pop();
                 }
@@ -138,9 +138,11 @@ mod tests {
 
     #[test]
     fn cmp_xy_orders_lexicographically() {
-        let mut pts = [Point::new(1.0, 2.0),
+        let mut pts = [
+            Point::new(1.0, 2.0),
             Point::new(0.0, 5.0),
-            Point::new(1.0, -1.0)];
+            Point::new(1.0, -1.0),
+        ];
         pts.sort_by(cmp_xy);
         assert_eq!(pts[0], Point::new(0.0, 5.0));
         assert_eq!(pts[1], Point::new(1.0, -1.0));

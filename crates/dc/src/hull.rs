@@ -30,9 +30,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for p in &pts {
-        while hull.len() >= 2
-            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
-        {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
             hull.pop();
         }
         hull.push(*p);
@@ -196,7 +194,9 @@ mod tests {
 
     fn pseudo_random_points(n: usize, seed: u64) -> Vec<Point> {
         // Deterministic LCG; coordinates in the unit disk-ish region.
-        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut s = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             (s >> 11) as f64 / (1u64 << 53) as f64
@@ -217,9 +217,8 @@ mod tests {
             return true;
         }
         let n = h.len();
-        pts.iter().all(|q| {
-            (0..n).all(|i| cross(&h[i], &h[(i + 1) % n], q) >= -1e-9)
-        })
+        pts.iter()
+            .all(|q| (0..n).all(|i| cross(&h[i], &h[(i + 1) % n], q) >= -1e-9))
     }
 
     #[test]

@@ -43,4 +43,6 @@ pub use mergesort::{sequential_mergesort, OneDeepMergesort};
 pub use quicksort::OneDeepQuicksort;
 pub use skeleton::{run_shared, run_spmd, OneDeep};
 pub use skyline::{concat_skyline, sequential_skyline, OneDeepSkyline};
-pub use traditional::{run_recursive, tree_mergesort_distributed_spmd, tree_mergesort_spmd, Recursive};
+pub use traditional::{
+    run_recursive, tree_mergesort_distributed_spmd, tree_mergesort_spmd, Recursive,
+};

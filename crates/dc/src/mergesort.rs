@@ -135,9 +135,7 @@ impl<T: SortItem> OneDeep for OneDeepMergesort<T> {
         if all.is_empty() || nparts <= 1 {
             return Vec::new();
         }
-        (1..nparts)
-            .map(|i| all[(i * all.len()) / nparts])
-            .collect()
+        (1..nparts).map(|i| all[(i * all.len()) / nparts]).collect()
     }
 
     fn merge_partition(

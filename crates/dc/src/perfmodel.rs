@@ -19,7 +19,12 @@ use crate::traditional::{merge_flops, sort_flops};
 /// local sort; sample all-gather (ring, `p − 1` rounds); splitter sort;
 /// repartition; all-to-all exchange (`p − 1` rounds moving `(1 − 1/p)` of
 /// the local block); local multiway merge.
-pub fn predict_one_deep_mergesort(model: &MachineModel, n: usize, p: usize, oversample: usize) -> f64 {
+pub fn predict_one_deep_mergesort(
+    model: &MachineModel,
+    n: usize,
+    p: usize,
+    oversample: usize,
+) -> f64 {
     let ft = model.flop_time;
     let local = n as f64 / p as f64;
     let elem = 8.0; // bytes per i64/f64 item
@@ -41,8 +46,7 @@ pub fn predict_one_deep_mergesort(model: &MachineModel, n: usize, p: usize, over
 
     // All-to-all: p−1 exchange rounds; the whole non-resident fraction of
     // the local block crosses the wire.
-    let t_exchange =
-        rounds * per_msg + local * (1.0 - 1.0 / p as f64) * elem * model.byte_time;
+    let t_exchange = rounds * per_msg + local * (1.0 - 1.0 / p as f64) * elem * model.byte_time;
 
     // Local multiway merge of ~p runs.
     let t_merge = merge_flops(local as usize) * (p as f64).log2().max(1.0) * ft;
@@ -51,7 +55,12 @@ pub fn predict_one_deep_mergesort(model: &MachineModel, n: usize, p: usize, over
 }
 
 /// Predicted speedup over the modeled sequential mergesort.
-pub fn predict_one_deep_speedup(model: &MachineModel, n: usize, p: usize, oversample: usize) -> f64 {
+pub fn predict_one_deep_speedup(
+    model: &MachineModel,
+    n: usize,
+    p: usize,
+    oversample: usize,
+) -> f64 {
     sort_flops(n) * model.flop_time / predict_one_deep_mergesort(model, n, p, oversample)
 }
 
@@ -112,11 +121,9 @@ mod tests {
         let n = 100_000;
         let p = 8;
         let pred = predict_one_deep_mergesort(&model, n, p, 8);
-        let compute_only = (sort_flops(n / p)
-            + sort_flops(p * 8)
-            + (n / p) as f64
-            + merge_flops(n / p) * 3.0)
-            * model.flop_time;
+        let compute_only =
+            (sort_flops(n / p) + sort_flops(p * 8) + (n / p) as f64 + merge_flops(n / p) * 3.0)
+                * model.flop_time;
         assert!((pred - compute_only).abs() < 1e-12);
     }
 }

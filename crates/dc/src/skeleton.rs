@@ -190,7 +190,10 @@ pub fn run_shared<A: OneDeep>(
 
     // Merge phase.
     if let Some(t) = trace {
-        t.record(PhaseKind::Merge, "compute merge parameters, repartition, merge locally");
+        t.record(
+            PhaseKind::Merge,
+            "compute merge parameters, repartition, merge locally",
+        );
     }
     let msamples = parfor_map(mode, n, |i| alg.merge_sample(&mids[i]));
     let mparams = alg.merge_params(&msamples, n);
@@ -213,8 +216,8 @@ where
     A: OneDeep,
     A::In: Payload,
     A::Mid: Payload,
-    A::SplitSample: Payload,
-    A::MergeSample: Payload,
+    A::SplitSample: Payload + Sync,
+    A::MergeSample: Payload + Sync,
 {
     let n = ctx.nprocs();
     let me = ctx.rank();
@@ -321,14 +324,23 @@ mod tests {
 
     fn toy_inputs(n: usize) -> Vec<Vec<u64>> {
         (0..n)
-            .map(|i| (0..50u64).map(|j| (j * 7919 + i as u64 * 104729) % 1000).collect())
+            .map(|i| {
+                (0..50u64)
+                    .map(|j| (j * 7919 + i as u64 * 104729) % 1000)
+                    .collect()
+            })
             .collect()
     }
 
     #[test]
     fn shared_modes_agree() {
         for n in [1usize, 2, 3, 5, 8] {
-            let seq = run_shared(&ResidueRoute, toy_inputs(n), ExecutionMode::Sequential, None);
+            let seq = run_shared(
+                &ResidueRoute,
+                toy_inputs(n),
+                ExecutionMode::Sequential,
+                None,
+            );
             let par = run_shared(&ResidueRoute, toy_inputs(n), ExecutionMode::Parallel, None);
             assert_eq!(seq, par, "n={n}");
         }
@@ -338,7 +350,12 @@ mod tests {
     fn spmd_agrees_with_shared() {
         use archetype_mp::{run_spmd as mp_run, MachineModel};
         for n in [1usize, 2, 4, 7] {
-            let shared = run_shared(&ResidueRoute, toy_inputs(n), ExecutionMode::Sequential, None);
+            let shared = run_shared(
+                &ResidueRoute,
+                toy_inputs(n),
+                ExecutionMode::Sequential,
+                None,
+            );
             let inputs = toy_inputs(n);
             let spmd = mp_run(n, MachineModel::ibm_sp(), |ctx| {
                 let local = inputs[ctx.rank()].clone();

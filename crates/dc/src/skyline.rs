@@ -121,7 +121,10 @@ impl OneDeep for OneDeepSkyline {
     // cut all local skylines into N regions."
     fn merge_params(&self, samples: &[(f64, f64)], nparts: usize) -> Vec<f64> {
         let lo = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
-        let hi = samples.iter().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
+        let hi = samples
+            .iter()
+            .map(|s| s.1)
+            .fold(f64::NEG_INFINITY, f64::max);
         if nparts <= 1 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return vec![f64::INFINITY; nparts.saturating_sub(1)];
         }
@@ -277,8 +280,18 @@ mod tests {
         let input = building_blocks(4, 40);
         let all: Vec<Building> = input.iter().flatten().copied().collect();
         let expected = sequential_skyline(&all);
-        let seq = run_shared(&OneDeepSkyline, input.clone(), ExecutionMode::Sequential, None);
-        let par = run_shared(&OneDeepSkyline, input.clone(), ExecutionMode::Parallel, None);
+        let seq = run_shared(
+            &OneDeepSkyline,
+            input.clone(),
+            ExecutionMode::Sequential,
+            None,
+        );
+        let par = run_shared(
+            &OneDeepSkyline,
+            input.clone(),
+            ExecutionMode::Parallel,
+            None,
+        );
         assert_eq!(seq, par);
         let spmd = mp_run(4, MachineModel::ibm_sp(), |ctx| {
             run_spmd(&OneDeepSkyline, ctx, input[ctx.rank()].clone())

@@ -274,7 +274,11 @@ mod tests {
                 let inp = (ctx.rank() == 0).then(|| input.clone());
                 tree_mergesort_spmd(ctx, inp)
             });
-            assert_eq!(out.results[0].as_ref().expect("root has data"), &expected, "p={p}");
+            assert_eq!(
+                out.results[0].as_ref().expect("root has data"),
+                &expected,
+                "p={p}"
+            );
             for r in 1..p {
                 assert!(out.results[r].is_none());
             }
@@ -301,7 +305,10 @@ mod tests {
         let eff4 = t1 / t4 / 4.0;
         let eff32 = t1 / t32 / 32.0;
         assert!(t4 < t1, "some speedup at P=4");
-        assert!(eff32 < eff4 * 0.8, "efficiency must decay: {eff4} -> {eff32}");
+        assert!(
+            eff32 < eff4 * 0.8,
+            "efficiency must decay: {eff4} -> {eff32}"
+        );
     }
 
     #[test]

@@ -160,9 +160,15 @@ pub fn airshed_shared(spec: &AirshedSpec, mode: ExecutionMode) -> AirshedResult 
 /// on every rank.
 pub fn airshed_spmd(ctx: &mut Ctx, spec: &AirshedSpec, pgrid: ProcessGrid2) -> AirshedResult {
     assert_eq!(pgrid.len(), ctx.nprocs());
-    let mut c = DistGrid2::from_global(ctx.rank(), pgrid, spec.nx, spec.ny, 1, background(), |_, _| {
-        background()
-    });
+    let mut c = DistGrid2::from_global(
+        ctx.rank(),
+        pgrid,
+        spec.nx,
+        spec.ny,
+        1,
+        background(),
+        |_, _| background(),
+    );
     let (nx, ny) = (c.nx(), c.ny());
     let mut peak = 0.0f64;
 
@@ -297,10 +303,7 @@ mod tests {
         // exceed the upwind side.
         let down = grid[(si + 5) * spec.ny + sj + 1][0];
         let up = grid[(si - 4) * spec.ny + sj - 2][0];
-        assert!(
-            down > up,
-            "downwind NO {down} should exceed upwind {up}"
-        );
+        assert!(down > up, "downwind NO {down} should exceed upwind {up}");
     }
 
     #[test]

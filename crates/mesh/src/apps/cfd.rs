@@ -374,7 +374,9 @@ mod tests {
 
     #[test]
     fn vorticity_of_uniform_flow_is_zero() {
-        let grid: Vec<Cell> = (0..10 * 10).map(|_| prim_to_cons(1.0, 0.5, 0.2, 1.0)).collect();
+        let grid: Vec<Cell> = (0..10 * 10)
+            .map(|_| prim_to_cons(1.0, 0.5, 0.2, 1.0))
+            .collect();
         let w = vorticity_field(&grid, 10, 10, 0.1, 0.1);
         assert!(w.iter().all(|v| v.abs() < 1e-12));
     }

@@ -216,13 +216,7 @@ pub fn em_spmd(ctx: &mut Ctx, spec: &EmSpec, pgrid: ProcessGrid3) -> EmResult {
                 for k in 0..nz {
                     // Skip the global boundary (PEC).
                     let (gi, gj, gk) = (ex.x0 + i, ex.y0 + j, ex.z0 + k);
-                    if gi == 0
-                        || gj == 0
-                        || gk == 0
-                        || gi == n - 1
-                        || gj == n - 1
-                        || gk == n - 1
-                    {
+                    if gi == 0 || gj == 0 || gk == 0 || gi == n - 1 || gj == n - 1 || gk == n - 1 {
                         continue;
                     }
                     let (ii, jj, kk) = (i as isize, j as isize, k as isize);
@@ -317,7 +311,10 @@ mod tests {
         // A cell away from the source should have been reached.
         let c = 12 / 2;
         let probe = f.ez[f.idx(c + 3, c, c)];
-        assert!(probe.abs() > 0.0, "wave should reach 3 cells away in 20 steps");
+        assert!(
+            probe.abs() > 0.0,
+            "wave should reach 3 cells away in 20 steps"
+        );
     }
 
     #[test]
@@ -366,9 +363,10 @@ mod tests {
     fn gather_global_reassembles_3d_grid() {
         let pg = ProcessGrid3::new(2, 1, 2);
         let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
-            let g = crate::grid3::DistGrid3::from_global(ctx.rank(), pg, 4, 3, 4, 1, 0.0, |i, j, k| {
-                (i * 100 + j * 10 + k) as f64
-            });
+            let g =
+                crate::grid3::DistGrid3::from_global(ctx.rank(), pg, 4, 3, 4, 1, 0.0, |i, j, k| {
+                    (i * 100 + j * 10 + k) as f64
+                });
             g.gather_global(ctx)
         });
         let full = out.results[0].as_ref().unwrap();

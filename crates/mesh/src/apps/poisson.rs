@@ -98,13 +98,7 @@ pub fn poisson_shared(spec: &PoissonSpec, mode: ExecutionMode) -> PoissonResult 
                 if i == 0 || j == 0 || i == nx - 1 || j == ny - 1 {
                     uk[k]
                 } else {
-                    jacobi_update(
-                        h2 * fgrid[k],
-                        uk[k - ny],
-                        uk[k + ny],
-                        uk[k - 1],
-                        uk[k + 1],
-                    )
+                    jacobi_update(h2 * fgrid[k], uk[k - ny], uk[k + ny], uk[k - 1], uk[k + 1])
                 }
             })
         };
@@ -133,7 +127,11 @@ pub fn poisson_shared(spec: &PoissonSpec, mode: ExecutionMode) -> PoissonResult 
 /// Version 2: SPMD Jacobi iteration over an `NPX × NPY` block distribution
 /// (Figure 14). Returns the gathered solution on rank 0.
 pub fn poisson_spmd(ctx: &mut Ctx, spec: &PoissonSpec, pgrid: ProcessGrid2) -> PoissonResult {
-    assert_eq!(pgrid.len(), ctx.nprocs(), "process grid must match run size");
+    assert_eq!(
+        pgrid.len(),
+        ctx.nprocs(),
+        "process grid must match run size"
+    );
     let h2 = spec.h() * spec.h();
     let rank = ctx.rank();
 
@@ -204,7 +202,8 @@ pub fn poisson_sweep_flops(nx: usize, ny: usize) -> f64 {
 /// discrete operator converges to the PDE solution as `h → 0`.
 pub fn sine_problem(n: usize, tolerance: f64, max_iters: usize) -> PoissonSpec {
     fn f(x: f64, y: f64) -> f64 {
-        -2.0 * std::f64::consts::PI * std::f64::consts::PI
+        -2.0 * std::f64::consts::PI
+            * std::f64::consts::PI
             * (std::f64::consts::PI * x).sin()
             * (std::f64::consts::PI * y).sin()
     }
@@ -237,8 +236,7 @@ mod tests {
                 let (x, y) = spec.xy(i, j);
                 // ∇²(sin πx · sin πy) = −2π² sin πx · sin πy = f, so the
                 // exact solution is u = sin πx · sin πy.
-                let exact =
-                    (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+                let exact = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
                 max_err = max_err.max((grid[i * 33 + j] - exact).abs());
             }
         }
@@ -265,7 +263,10 @@ mod tests {
                 poisson_spmd(ctx, &spec, pg)
             });
             let root = &out.results[0];
-            assert_eq!(root.iters, reference.iters, "{px}x{py}: same iteration count");
+            assert_eq!(
+                root.iters, reference.iters,
+                "{px}x{py}: same iteration count"
+            );
             assert_eq!(
                 root.grid.as_ref().unwrap(),
                 reference.grid.as_ref().unwrap(),

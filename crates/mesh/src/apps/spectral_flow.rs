@@ -104,12 +104,16 @@ fn d2_4th(fm2: f64, fm1: f64, f0: f64, fp1: f64, fp2: f64, h: f64) -> f64 {
 pub fn swirl_shared(spec: &SwirlSpec, _mode: ExecutionMode) -> Vec<f64> {
     let (nr, nt) = (spec.nr, spec.ntheta);
     let dr = spec.dr();
-    let mut u: Vec<f64> = (0..nr * nt).map(|k| swirl_init(spec, k / nt, k % nt)).collect();
+    let mut u: Vec<f64> = (0..nr * nt)
+        .map(|k| swirl_init(spec, k / nt, k % nt))
+        .collect();
 
     for _ in 0..spec.steps {
         let mut un = u.clone();
         // Row op: spectral θ-derivative per radial line.
-        let dudth: Vec<Vec<f64>> = (0..nr).map(|i| dtheta_spectral(&u[i * nt..(i + 1) * nt])).collect();
+        let dudth: Vec<Vec<f64>> = (0..nr)
+            .map(|i| dtheta_spectral(&u[i * nt..(i + 1) * nt]))
+            .collect();
         // Grid op: advance the interior (radial lines 2..nr−2 use the full
         // five-point stencil; lines 0, 1, nr−2, nr−1 are held fixed, the
         // outer two acting as boundary conditions).
@@ -119,14 +123,7 @@ pub fn swirl_shared(spec: &SwirlSpec, _mode: ExecutionMode) -> Vec<f64> {
             let om = spec.omega(r);
             for j in 0..nt {
                 let k = i * nt + j;
-                let diff = d2_4th(
-                    u[k - 2 * nt],
-                    u[k - nt],
-                    u[k],
-                    u[k + nt],
-                    u[k + 2 * nt],
-                    dr,
-                );
+                let diff = d2_4th(u[k - 2 * nt], u[k - nt], u[k], u[k + nt], u[k + 2 * nt], dr);
                 un[k] = u[k] + spec.dt * (-om * dudth[i][j] + spec.nu * diff);
             }
         }
@@ -165,7 +162,9 @@ pub fn swirl_spmd(ctx: &mut Ctx, spec: &SwirlSpec) -> Option<Vec<f64>> {
         // Row op: spectral derivative of each local radial line.
         let mut dudth: Vec<Vec<f64>> = Vec::with_capacity(local_rows);
         for li in 0..local_rows {
-            let row: Vec<f64> = (0..nt).map(|j| u.block.at(li as isize, j as isize)).collect();
+            let row: Vec<f64> = (0..nt)
+                .map(|j| u.block.at(li as isize, j as isize))
+                .collect();
             dudth.push(dtheta_spectral(&row));
         }
         ctx.charge_flops(local_rows as f64 * 2.0 * fft_flops(nt));

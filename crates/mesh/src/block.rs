@@ -61,17 +61,70 @@ impl<T: Copy> Block2<T> {
 
     /// Copy out a strip of `len` cells starting at `(i0, j0)` and advancing
     /// by `(di, dj)` per cell — used to pack ghost-exchange messages.
+    ///
+    /// Row strips (`di == 0, dj == 1`) are a single `memcpy` of the
+    /// underlying storage; column strips (`di == 1, dj == 0`) walk the row
+    /// stride directly. Other step patterns fall back to per-cell `at`.
     pub fn pack(&self, i0: isize, j0: isize, di: isize, dj: isize, len: usize) -> Vec<T> {
-        (0..len as isize)
-            .map(|k| self.at(i0 + k * di, j0 + k * dj))
-            .collect()
+        let mut out = Vec::with_capacity(len);
+        self.pack_into(i0, j0, di, dj, len, &mut out);
+        out
+    }
+
+    /// [`Block2::pack`] appending into an existing buffer, so multi-layer
+    /// ghost exchanges can assemble one message without intermediate
+    /// allocations.
+    pub fn pack_into(
+        &self,
+        i0: isize,
+        j0: isize,
+        di: isize,
+        dj: isize,
+        len: usize,
+        out: &mut Vec<T>,
+    ) {
+        if len == 0 {
+            return;
+        }
+        if di == 0 && dj == 1 {
+            // Row strip: contiguous in storage.
+            let start = self.offset(i0, j0);
+            let _ = self.offset(i0, j0 + len as isize - 1); // bounds check end
+            out.extend_from_slice(&self.data[start..start + len]);
+        } else if di == 1 && dj == 0 {
+            // Column strip: fixed stride of one row.
+            let stride = self.ny + 2 * self.g;
+            let start = self.offset(i0, j0);
+            let _ = self.offset(i0 + len as isize - 1, j0);
+            out.extend((0..len).map(|k| self.data[start + k * stride]));
+        } else {
+            out.extend((0..len as isize).map(|k| self.at(i0 + k * di, j0 + k * dj)));
+        }
     }
 
     /// Write a strip of cells starting at `(i0, j0)` advancing by
-    /// `(di, dj)` — the inverse of [`Block2::pack`].
+    /// `(di, dj)` — the inverse of [`Block2::pack`], with the same
+    /// contiguous (`memcpy`) and strided fast paths.
     pub fn unpack(&mut self, i0: isize, j0: isize, di: isize, dj: isize, vals: &[T]) {
-        for (k, v) in vals.iter().enumerate() {
-            self.set(i0 + k as isize * di, j0 + k as isize * dj, *v);
+        let len = vals.len();
+        if len == 0 {
+            return;
+        }
+        if di == 0 && dj == 1 {
+            let start = self.offset(i0, j0);
+            let _ = self.offset(i0, j0 + len as isize - 1);
+            self.data[start..start + len].copy_from_slice(vals);
+        } else if di == 1 && dj == 0 {
+            let stride = self.ny + 2 * self.g;
+            let start = self.offset(i0, j0);
+            let _ = self.offset(i0 + len as isize - 1, j0);
+            for (k, v) in vals.iter().enumerate() {
+                self.data[start + k * stride] = *v;
+            }
+        } else {
+            for (k, v) in vals.iter().enumerate() {
+                self.set(i0 + k as isize * di, j0 + k as isize * dj, *v);
+            }
         }
     }
 
@@ -166,43 +219,67 @@ impl<T: Copy> Block3<T> {
     /// Pack one ghost-exchange face: the plane `axis = plane_idx`
     /// (interior coordinate), covering the interior extents of the other
     /// two axes. Returns values in row-major order of the remaining axes.
+    ///
+    /// Faces normal to axis 0 or 1 vary `k` fastest, so each row of the
+    /// face is one contiguous `memcpy` of `nz` cells; faces normal to
+    /// axis 2 gather with a fixed stride of one `k`-row.
     pub fn pack_face(&self, axis: usize, plane_idx: isize) -> Vec<T> {
-        let (a, b) = match axis {
-            0 => (self.ny, self.nz),
-            1 => (self.nx, self.nz),
-            _ => (self.nx, self.ny),
-        };
-        let mut out = Vec::with_capacity(a * b);
-        for u in 0..a as isize {
-            for v in 0..b as isize {
-                let (i, j, k) = match axis {
-                    0 => (plane_idx, u, v),
-                    1 => (u, plane_idx, v),
-                    _ => (u, v, plane_idx),
-                };
-                out.push(self.at(i, j, k));
+        let kstride = self.nz + 2 * self.g;
+        match axis {
+            0 => {
+                let mut out = Vec::with_capacity(self.ny * self.nz);
+                for u in 0..self.ny as isize {
+                    let start = self.offset(plane_idx, u, 0);
+                    out.extend_from_slice(&self.data[start..start + self.nz]);
+                }
+                out
+            }
+            1 => {
+                let mut out = Vec::with_capacity(self.nx * self.nz);
+                for u in 0..self.nx as isize {
+                    let start = self.offset(u, plane_idx, 0);
+                    out.extend_from_slice(&self.data[start..start + self.nz]);
+                }
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(self.nx * self.ny);
+                for u in 0..self.nx as isize {
+                    let start = self.offset(u, 0, plane_idx);
+                    out.extend((0..self.ny).map(|v| self.data[start + v * kstride]));
+                }
+                out
             }
         }
-        out
     }
 
-    /// Unpack one ghost-exchange face; inverse of [`Block3::pack_face`].
+    /// Unpack one ghost-exchange face; inverse of [`Block3::pack_face`],
+    /// with the same contiguous (`memcpy`) and strided fast paths.
     pub fn unpack_face(&mut self, axis: usize, plane_idx: isize, vals: &[T]) {
-        let (a, b) = match axis {
-            0 => (self.ny, self.nz),
-            1 => (self.nx, self.nz),
-            _ => (self.nx, self.ny),
-        };
-        debug_assert_eq!(vals.len(), a * b);
-        let mut it = vals.iter();
-        for u in 0..a as isize {
-            for v in 0..b as isize {
-                let (i, j, k) = match axis {
-                    0 => (plane_idx, u, v),
-                    1 => (u, plane_idx, v),
-                    _ => (u, v, plane_idx),
-                };
-                self.set(i, j, k, *it.next().expect("length checked"));
+        let kstride = self.nz + 2 * self.g;
+        match axis {
+            0 => {
+                debug_assert_eq!(vals.len(), self.ny * self.nz);
+                for (u, row) in vals.chunks_exact(self.nz).enumerate() {
+                    let start = self.offset(plane_idx, u as isize, 0);
+                    self.data[start..start + self.nz].copy_from_slice(row);
+                }
+            }
+            1 => {
+                debug_assert_eq!(vals.len(), self.nx * self.nz);
+                for (u, row) in vals.chunks_exact(self.nz).enumerate() {
+                    let start = self.offset(u as isize, plane_idx, 0);
+                    self.data[start..start + self.nz].copy_from_slice(row);
+                }
+            }
+            _ => {
+                debug_assert_eq!(vals.len(), self.nx * self.ny);
+                for (u, row) in vals.chunks_exact(self.ny).enumerate() {
+                    let start = self.offset(u as isize, 0, plane_idx);
+                    for (v, val) in row.iter().enumerate() {
+                        self.data[start + v * kstride] = *val;
+                    }
+                }
             }
         }
     }

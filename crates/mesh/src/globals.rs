@@ -22,7 +22,7 @@ pub struct GlobalVar<T> {
     value: T,
 }
 
-impl<T: Payload + Clone> GlobalVar<T> {
+impl<T: Payload + Clone + Sync> GlobalVar<T> {
     /// Create with an initial value. The initializer must be the same
     /// expression on every rank (like the paper's replicated
     /// initialization); this is the caller's obligation.

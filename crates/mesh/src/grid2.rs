@@ -105,32 +105,36 @@ impl<T: FixedSize> DistGrid2<T> {
         let east = self.pgrid.east(self.rank);
 
         // Pack and send all four sides first (sends are buffered), then
-        // receive — the standard deadlock-free exchange.
+        // receive — the standard deadlock-free exchange. North/south rows
+        // hit `pack_into`'s contiguous memcpy path; west/east columns its
+        // strided path.
         if let Some(nb) = north {
             let mut buf = Vec::with_capacity((g * ny) as usize);
             for l in 0..g {
-                buf.extend(self.block.pack(l, 0, 0, 1, ny as usize));
+                self.block.pack_into(l, 0, 0, 1, ny as usize, &mut buf);
             }
             ctx.send(nb, tag, buf);
         }
         if let Some(nb) = south {
             let mut buf = Vec::with_capacity((g * ny) as usize);
             for l in 0..g {
-                buf.extend(self.block.pack(nx - g + l, 0, 0, 1, ny as usize));
+                self.block
+                    .pack_into(nx - g + l, 0, 0, 1, ny as usize, &mut buf);
             }
             ctx.send(nb, tag | 1, buf);
         }
         if let Some(nb) = west {
             let mut buf = Vec::with_capacity((g * nx) as usize);
             for l in 0..g {
-                buf.extend(self.block.pack(0, l, 1, 0, nx as usize));
+                self.block.pack_into(0, l, 1, 0, nx as usize, &mut buf);
             }
             ctx.send(nb, tag | 2, buf);
         }
         if let Some(nb) = east {
             let mut buf = Vec::with_capacity((g * nx) as usize);
             for l in 0..g {
-                buf.extend(self.block.pack(0, ny - g + l, 1, 0, nx as usize));
+                self.block
+                    .pack_into(0, ny - g + l, 1, 0, nx as usize, &mut buf);
             }
             ctx.send(nb, tag | 3, buf);
         }
@@ -209,9 +213,7 @@ impl DistGrid2<f64> {
         op: impl Fn(f64, f64) -> f64,
         identity: f64,
     ) -> f64 {
-        let local = self
-            .block
-            .fold_interior(identity, |acc, v| op(acc, map(v)));
+        let local = self.block.fold_interior(identity, |acc, v| op(acc, map(v)));
         ctx.all_reduce(local, &op)
     }
 }
@@ -275,10 +277,9 @@ mod tests {
     fn ghost_exchange_with_width_two() {
         let pg = ProcessGrid2::new(2, 1);
         let out = run_spmd(2, MachineModel::ibm_sp(), |ctx| {
-            let mut g =
-                DistGrid2::from_global(ctx.rank(), pg, 8, 4, 2, f64::NAN, |i, j| {
-                    (i * 100 + j) as f64
-                });
+            let mut g = DistGrid2::from_global(ctx.rank(), pg, 8, 4, 2, f64::NAN, |i, j| {
+                (i * 100 + j) as f64
+            });
             g.exchange_ghosts(ctx);
             g
         });
@@ -300,9 +301,8 @@ mod tests {
         for (px, py) in [(1, 1), (2, 2), (3, 2)] {
             let pg = ProcessGrid2::new(px, py);
             let out = run_spmd(pg.len(), MachineModel::ibm_sp(), |ctx| {
-                let g = DistGrid2::from_global(ctx.rank(), pg, 9, 7, 1, 0.0, |i, j| {
-                    (i * 7 + j) as f64
-                });
+                let g =
+                    DistGrid2::from_global(ctx.rank(), pg, 9, 7, 1, 0.0, |i, j| (i * 7 + j) as f64);
                 g.gather_global(ctx)
             });
             let global = out.results[0].as_ref().expect("rank 0 has the grid");
@@ -318,9 +318,7 @@ mod tests {
     fn all_reduce_interior_computes_global_max() {
         let pg = ProcessGrid2::new(2, 2);
         let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
-            let g = DistGrid2::from_global(ctx.rank(), pg, 6, 6, 1, 0.0, |i, j| {
-                (i * 6 + j) as f64
-            });
+            let g = DistGrid2::from_global(ctx.rank(), pg, 6, 6, 1, 0.0, |i, j| (i * 6 + j) as f64);
             g.all_reduce_interior(ctx, |v| v, f64::max, f64::NEG_INFINITY)
         });
         for v in &out.results {

@@ -75,8 +75,12 @@ impl<T: FixedSize> DistGrid3<T> {
         for i in 0..grid.block.nx {
             for j in 0..grid.block.ny {
                 for k in 0..grid.block.nz {
-                    grid.block
-                        .set(i as isize, j as isize, k as isize, f(x0 + i, y0 + j, z0 + k));
+                    grid.block.set(
+                        i as isize,
+                        j as isize,
+                        k as isize,
+                        f(x0 + i, y0 + j, z0 + k),
+                    );
                 }
             }
         }
@@ -180,9 +184,7 @@ impl DistGrid3<f64> {
         op: impl Fn(f64, f64) -> f64,
         identity: f64,
     ) -> f64 {
-        let local = self
-            .block
-            .fold_interior(identity, |acc, v| op(acc, map(v)));
+        let local = self.block.fold_interior(identity, |acc, v| op(acc, map(v)));
         ctx.all_reduce(local, &op)
     }
 }

@@ -30,11 +30,7 @@ pub fn write_pgm(path: &Path, data: &[f64], nx: usize, ny: usize) -> std::io::Re
 }
 
 /// Write `(x, series₁, series₂, …)` rows as CSV with a header line.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<f64>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{}", header.join(","))?;
     for row in rows {

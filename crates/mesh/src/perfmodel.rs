@@ -16,6 +16,7 @@ use archetype_mp::{MachineModel, ProcessGrid2};
 /// `nx × ny` grid of `elem_bytes`-sized cells over `pgrid`, doing
 /// `flops_per_cell` work per cell, exchanging `ghost` boundary layers with
 /// up to four neighbours, plus `reductions` all-reduces per step.
+#[allow(clippy::too_many_arguments)]
 pub fn predict_stencil_step(
     model: &MachineModel,
     nx: usize,
@@ -42,8 +43,11 @@ pub fn predict_stencil_step(
     let n_sides = north_south + east_west;
     let wire_ns = ghost as f64 * local_y * elem_bytes as f64 * model.byte_time;
     let wire_ew = ghost as f64 * local_x * elem_bytes as f64 * model.byte_time;
-    let max_wire = if north_south > 0.0 { wire_ns } else { 0.0 }
-        .max(if east_west > 0.0 { wire_ew } else { 0.0 });
+    let max_wire = if north_south > 0.0 { wire_ns } else { 0.0 }.max(if east_west > 0.0 {
+        wire_ew
+    } else {
+        0.0
+    });
     let t_exchange = if n_sides > 0.0 {
         n_sides * (model.send_overhead + model.recv_overhead) + model.latency + max_wire
     } else {
@@ -55,8 +59,8 @@ pub fn predict_stencil_step(
     // fold/unfold rounds (scalar payloads — wire time negligible).
     let p = pgrid.len();
     let t_reduce = if p > 1 {
-        let mut rounds = (p.next_power_of_two().trailing_zeros()
-            - u32::from(!p.is_power_of_two())) as f64;
+        let mut rounds =
+            (p.next_power_of_two().trailing_zeros() - u32::from(!p.is_power_of_two())) as f64;
         if !p.is_power_of_two() {
             rounds += 2.0;
         }
@@ -70,6 +74,7 @@ pub fn predict_stencil_step(
 
 /// Predicted speedup of a stencil run versus one process of the same
 /// machine.
+#[allow(clippy::too_many_arguments)]
 pub fn predict_stencil_speedup(
     model: &MachineModel,
     nx: usize,
@@ -114,8 +119,7 @@ mod tests {
             .elapsed_virtual;
             // The Poisson SPMD loop charges 8 flops/cell and performs one
             // ghost exchange + one max-reduction per sweep.
-            let pred = steps as f64
-                * predict_stencil_step(&model, n, n, 8, pg, 8.0, 1, 1);
+            let pred = steps as f64 * predict_stencil_step(&model, n, n, 8, pg, 8.0, 1, 1);
             let ratio = pred / sim;
             assert!(
                 (0.65..=1.35).contains(&ratio),
@@ -130,16 +134,8 @@ mod tests {
         // near-square decomposition exchanges less than 1×P strips.
         let model = MachineModel::ibm_sp();
         for p in [16usize, 36, 64] {
-            let block = predict_stencil_step(
-                &model,
-                512,
-                512,
-                8,
-                ProcessGrid2::near_square(p),
-                8.0,
-                1,
-                1,
-            );
+            let block =
+                predict_stencil_step(&model, 512, 512, 8, ProcessGrid2::near_square(p), 8.0, 1, 1);
             let strip =
                 predict_stencil_step(&model, 512, 512, 8, ProcessGrid2::new(1, p), 8.0, 1, 1);
             assert!(block < strip, "p={p}: block {block} vs strip {strip}");

@@ -277,7 +277,9 @@ mod tests {
             gather_rows(ctx, &rd)
         });
         let full = out.results[0].as_ref().expect("root");
-        let expected: Vec<f64> = (0..7).flat_map(|r| (0..2).map(move |c| val(r, c))).collect();
+        let expected: Vec<f64> = (0..7)
+            .flat_map(|r| (0..2).map(move |c| val(r, c)))
+            .collect();
         assert_eq!(full, &expected);
     }
 

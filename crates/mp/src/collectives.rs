@@ -12,7 +12,7 @@
 //! back-to-back collectives cannot interfere.
 
 use crate::ctx::Ctx;
-use crate::payload::Payload;
+use crate::payload::{Payload, Shared};
 
 impl Ctx {
     /// Dissemination barrier: ⌈log₂ n⌉ rounds of shifted exchanges.
@@ -37,7 +37,25 @@ impl Ctx {
     /// Binomial-tree broadcast from `root`. On the root, `value` must be
     /// `Some`; on other ranks it is ignored and may be `None`. Returns the
     /// broadcast value on every rank.
-    pub fn broadcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+    ///
+    /// The payload travels the tree as a [`Shared`] handle: every forward
+    /// clones a refcount, not the data, so each rank performs at most one
+    /// deep copy (to materialize its owned return value) instead of one
+    /// per child. Use [`Ctx::broadcast_shared`] to keep the handle and
+    /// skip even that copy.
+    pub fn broadcast<T: Payload + Clone + Sync>(&mut self, root: usize, value: Option<T>) -> T {
+        self.broadcast_shared(root, value.map(Shared::new))
+            .into_inner()
+    }
+
+    /// [`Ctx::broadcast`] without materializing an owned value: returns
+    /// the reference-counted payload handle directly, so a fan-out of any
+    /// size performs zero deep copies on every rank.
+    pub fn broadcast_shared<T: Payload + Sync>(
+        &mut self,
+        root: usize,
+        value: Option<Shared<T>>,
+    ) -> Shared<T> {
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -55,7 +73,7 @@ impl Ctx {
         while mask < n {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % n;
-                val = Some(self.recv(src, base));
+                val = Some(self.recv_shared(src, base));
                 break;
             }
             mask <<= 1;
@@ -66,7 +84,7 @@ impl Ctx {
         while mask > 0 {
             if relative + mask < n {
                 let dst = (relative + mask + root) % n;
-                self.send(dst, base, v.clone());
+                self.send_shared(dst, base, &v);
             }
             mask >>= 1;
         }
@@ -96,11 +114,27 @@ impl Ctx {
 
     /// Ring all-gather: after `n − 1` shift steps every rank holds the
     /// contribution of every rank, indexed by rank.
-    pub fn all_gather<T: Payload + Clone>(&mut self, value: T) -> Vec<T> {
+    ///
+    /// Blocks travel the ring as [`Shared`] handles — each hop forwards a
+    /// refcount instead of deep-copying the block — so the substrate adds
+    /// no copies beyond the unavoidable one-per-rank materialization of
+    /// the owned return value. Use [`Ctx::all_gather_shared`] to keep the
+    /// handles and skip materialization entirely.
+    pub fn all_gather<T: Payload + Clone + Sync>(&mut self, value: T) -> Vec<T> {
+        self.all_gather_shared(Shared::new(value))
+            .into_iter()
+            .map(Shared::into_inner)
+            .collect()
+    }
+
+    /// [`Ctx::all_gather`] without materializing owned blocks: every rank
+    /// receives refcounted handles onto the single allocation each rank
+    /// contributed, for zero deep copies anywhere in the ring.
+    pub fn all_gather_shared<T: Payload + Sync>(&mut self, value: Shared<T>) -> Vec<Shared<T>> {
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut out: Vec<Option<Shared<T>>> = (0..n).map(|_| None).collect();
         out[rank] = Some(value);
         let right = (rank + 1) % n;
         let left = (rank + n - 1) % n;
@@ -108,9 +142,9 @@ impl Ctx {
             // Pass along the block that is `step` hops behind us in the ring.
             let send_idx = (rank + n - step) % n;
             let recv_idx = (rank + n - step - 1) % n;
-            let outgoing = out[send_idx].clone().expect("block must be present");
-            self.send(right, base | step as u64, outgoing);
-            out[recv_idx] = Some(self.recv(left, base | step as u64));
+            let outgoing = out[send_idx].as_ref().expect("block must be present");
+            self.send_shared(right, base | step as u64, outgoing);
+            out[recv_idx] = Some(self.recv_shared(left, base | step as u64));
         }
         out.into_iter()
             .map(|v| v.expect("ring completed"))
@@ -268,7 +302,7 @@ impl Ctx {
     /// comparing against recursive doubling.
     pub fn all_reduce_via_gather<T, F>(&mut self, value: T, op: F) -> T
     where
-        T: Payload + Clone,
+        T: Payload + Clone + Sync,
         F: Fn(T, T) -> T,
     {
         let gathered = self.gather(0, value);
@@ -374,8 +408,9 @@ mod tests {
         for &n in SIZES {
             let out = run_spmd_quiet(n, MachineModel::ibm_sp(), |ctx| {
                 // items[d] = (my_rank, d)
-                let items: Vec<(u64, u64)> =
-                    (0..ctx.nprocs() as u64).map(|d| (ctx.rank() as u64, d)).collect();
+                let items: Vec<(u64, u64)> = (0..ctx.nprocs() as u64)
+                    .map(|d| (ctx.rank() as u64, d))
+                    .collect();
                 ctx.all_to_all(items)
             });
             for (me, got) in out.results.iter().enumerate() {

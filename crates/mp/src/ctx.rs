@@ -5,8 +5,8 @@ use crossbeam::channel::Sender;
 
 use crate::mailbox::Mailbox;
 use crate::model::MachineModel;
-use crate::packet::Packet;
-use crate::payload::Payload;
+use crate::packet::{Packet, PacketBody};
+use crate::payload::{Payload, Shared};
 use crate::stats::RankStats;
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
@@ -110,12 +110,9 @@ impl Ctx {
         self.charge_flops(items as f64 * flops_per_item);
     }
 
-    /// Send `value` to rank `to` with tag `tag`. Non-blocking (buffered),
-    /// like an eager-protocol MPI send; costs this rank `send_overhead`
-    /// of virtual time and stamps the packet's arrival time.
-    pub fn send<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
+    /// Charge send-side costs and put a packet on the wire to `to`.
+    fn send_packet(&mut self, to: usize, tag: Tag, bytes: usize, body: PacketBody) {
         assert!(to < self.nprocs, "send to rank {to} out of range");
-        let bytes = value.size_bytes();
         let arrival_time = self.clock + self.model.wire_time(bytes);
         self.clock += self.model.send_overhead;
         self.stats.comm_time += self.model.send_overhead;
@@ -127,9 +124,50 @@ impl Ctx {
                 tag,
                 bytes,
                 arrival_time,
-                payload: Box::new(value),
+                body,
             })
             .expect("receiving rank's mailbox closed (rank panicked?)");
+    }
+
+    /// Block for the next matching packet and charge receive-side costs.
+    fn recv_packet(&mut self, from: usize, tag: Tag) -> Packet {
+        assert!(from < self.nprocs, "recv from rank {from} out of range");
+        let pkt = self.mailbox.recv_matching(from, tag);
+        if pkt.arrival_time > self.clock {
+            self.stats.comm_time += pkt.arrival_time - self.clock;
+            self.clock = pkt.arrival_time;
+        }
+        self.clock += self.model.recv_overhead;
+        self.stats.comm_time += self.model.recv_overhead;
+        pkt
+    }
+
+    #[cold]
+    fn type_mismatch<T>(&self, from: usize, tag: Tag) -> ! {
+        panic!(
+            "type mismatch receiving (from={from}, tag={tag}) at rank {}: expected {}",
+            self.rank,
+            std::any::type_name::<T>()
+        )
+    }
+
+    /// Send `value` to rank `to` with tag `tag`. Non-blocking (buffered),
+    /// like an eager-protocol MPI send; costs this rank `send_overhead`
+    /// of virtual time and stamps the packet's arrival time.
+    pub fn send<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
+        let bytes = value.size_bytes();
+        self.send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value)));
+    }
+
+    /// Send the payload behind `value` to rank `to` without copying it:
+    /// the packet carries a refcounted handle to the same allocation. The
+    /// virtual-time cost is identical to [`Ctx::send`] — the simulated
+    /// wire still moves every byte — only host copy work is elided. The
+    /// receiver must use [`Ctx::recv_shared`].
+    pub fn send_shared<T: Payload + Sync>(&mut self, to: usize, tag: Tag, value: &Shared<T>) {
+        let bytes = value.size_bytes();
+        let arc = std::sync::Arc::clone(value.as_arc());
+        self.send_packet(to, tag, bytes, PacketBody::Shared(arc));
     }
 
     /// Blocking receive of a `T` from rank `from` with tag `tag`.
@@ -139,23 +177,37 @@ impl Ctx {
     ///
     /// # Panics
     /// Panics if the matched message's payload is not a `T` — that is a
-    /// protocol bug in the SPMD program.
+    /// protocol bug in the SPMD program — or if the message was sent with
+    /// [`Ctx::send_shared`] (receive those with [`Ctx::recv_shared`]).
     pub fn recv<T: Payload>(&mut self, from: usize, tag: Tag) -> T {
-        assert!(from < self.nprocs, "recv from rank {from} out of range");
-        let pkt = self.mailbox.recv_matching(from, tag);
-        if pkt.arrival_time > self.clock {
-            self.stats.comm_time += pkt.arrival_time - self.clock;
-            self.clock = pkt.arrival_time;
-        }
-        self.clock += self.model.recv_overhead;
-        self.stats.comm_time += self.model.recv_overhead;
-        match pkt.payload.downcast::<T>() {
-            Ok(v) => *v,
-            Err(_) => panic!(
-                "type mismatch receiving (from={from}, tag={tag}) at rank {}: expected {}",
-                self.rank,
-                std::any::type_name::<T>()
+        let pkt = self.recv_packet(from, tag);
+        match pkt.body {
+            PacketBody::Owned(b) => match b.downcast::<T>() {
+                Ok(v) => *v,
+                Err(_) => self.type_mismatch::<T>(from, tag),
+            },
+            PacketBody::Shared(_) => panic!(
+                "rank {}: message (from={from}, tag={tag}) was sent with send_shared; \
+                 receive it with recv_shared",
+                self.rank
             ),
+        }
+    }
+
+    /// Blocking receive of a shared payload from rank `from` with tag
+    /// `tag`. Accepts messages sent with either [`Ctx::send`] (the owned
+    /// value is wrapped without copying) or [`Ctx::send_shared`].
+    pub fn recv_shared<T: Payload + Sync>(&mut self, from: usize, tag: Tag) -> Shared<T> {
+        let pkt = self.recv_packet(from, tag);
+        match pkt.body {
+            PacketBody::Shared(arc) => match arc.downcast::<T>() {
+                Ok(a) => Shared::from_arc(a),
+                Err(_) => self.type_mismatch::<T>(from, tag),
+            },
+            PacketBody::Owned(b) => match b.downcast::<T>() {
+                Ok(v) => Shared::new(*v),
+                Err(_) => self.type_mismatch::<T>(from, tag),
+            },
         }
     }
 
@@ -173,8 +225,10 @@ impl Ctx {
         self.recv(from, tag)
     }
 
-    pub(crate) fn mailbox_unconsumed(&self) -> usize {
-        self.mailbox.unconsumed()
+    /// Dismantle the context, returning its channel endpoints so the
+    /// runner can recycle the network for the next `run_spmd` call.
+    pub(crate) fn into_parts(self) -> (Vec<Sender<Packet>>, Mailbox) {
+        (self.senders, self.mailbox)
     }
 
     /// Reserve a fresh tag namespace for a user-level communication phase

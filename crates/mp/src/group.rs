@@ -115,7 +115,11 @@ impl Group {
 
     /// Point-to-point send to group index `to`.
     pub fn send<T: Payload>(&self, ctx: &mut Ctx, to: usize, tag: Tag, value: T) {
-        ctx.send(self.members[to], GROUP_TAG_BASE | (self.gid << 24) | tag, value);
+        ctx.send(
+            self.members[to],
+            GROUP_TAG_BASE | (self.gid << 24) | tag,
+            value,
+        );
     }
 
     /// Point-to-point receive from group index `from`.
@@ -194,7 +198,7 @@ impl Group {
         let mut acc = value;
 
         let my_idx: Option<usize> = if me < 2 * rem {
-            if me % 2 == 0 {
+            if me.is_multiple_of(2) {
                 ctx.send(self.members[me + 1], base | 0xF0, acc.clone());
                 None
             } else {

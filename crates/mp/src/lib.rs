@@ -23,8 +23,21 @@
 //! processors, deterministically, on a small host.
 //!
 //! Real wall-clock execution is unaffected: the processes are genuine OS
-//! threads exchanging messages through lock-free channels, so the same code
-//! can be benchmarked for real with Criterion (see `archetype-bench`).
+//! threads exchanging messages through channels, so the same code can be
+//! benchmarked for real with Criterion (see `archetype-bench`).
+//!
+//! ## Substrate hot path
+//!
+//! [`run_spmd`] executes ranks on a **persistent worker pool**
+//! ([`pool`]) and recycles the channel network of cleanly finished runs,
+//! so repeated invocations cost a dispatch, not `n` thread spawns plus
+//! `n²` channel constructions ([`run_spmd_unpooled`] keeps the
+//! spawn-per-call path as a baseline). Fan-out collectives (`broadcast`,
+//! `all_gather`) forward [`Shared`] refcounted payloads instead of
+//! deep-copying per hop; the `*_shared` variants expose those handles
+//! directly for zero-copy pipelines. Neither changes virtual-time
+//! semantics: clocks are driven solely by the machine model, so runs
+//! stay deterministic.
 //!
 //! ## Quick example
 //!
@@ -47,6 +60,7 @@ pub mod mailbox;
 pub mod model;
 pub mod packet;
 pub mod payload;
+pub mod pool;
 pub mod runner;
 pub mod stats;
 pub mod topology;
@@ -55,7 +69,7 @@ pub use costmeter::CostMeter;
 pub use ctx::{Ctx, Tag};
 pub use group::Group;
 pub use model::{MachineModel, MemoryModel};
-pub use payload::{FixedSize, Payload};
-pub use runner::{run_spmd, run_spmd_quiet, SpmdResult};
+pub use payload::{FixedSize, Payload, Shared};
+pub use runner::{run_spmd, run_spmd_quiet, run_spmd_unpooled, SpmdResult};
 pub use stats::{RankStats, RunStats};
 pub use topology::{ProcessGrid2, ProcessGrid3};

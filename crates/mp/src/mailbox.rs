@@ -1,21 +1,25 @@
 //! Per-rank mailboxes: one unbounded channel per (receiver, sender) pair
-//! plus an out-of-order buffer so receives can match on tags.
+//! plus a tag-indexed out-of-order buffer so receives can match on tags.
 //!
 //! Keeping a dedicated channel per sender preserves per-sender FIFO order
 //! (like MPI's non-overtaking rule) while letting a receiver block on a
-//! specific sender without inspecting traffic from others.
+//! specific sender without inspecting traffic from others. Messages pulled
+//! off the channel while waiting for a different tag are buffered in a
+//! per-sender `HashMap<Tag, VecDeque>` — matching a buffered tag is O(1)
+//! instead of a linear scan over everything pending, while per-(sender,
+//! tag) FIFO order is preserved by the queue within each bucket.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::packet::Packet;
 
 /// The receive side owned by one rank: `from[s]` is the channel carrying
 /// messages sent by rank `s`, and `pending[s]` holds messages from `s`
-/// already pulled off the channel but not yet matched by tag.
+/// already pulled off the channel but not yet matched, bucketed by tag.
 pub struct Mailbox {
     from: Vec<Receiver<Packet>>,
-    pending: Vec<VecDeque<Packet>>,
+    pending: Vec<HashMap<u64, VecDeque<Packet>>>,
 }
 
 impl Mailbox {
@@ -28,8 +32,13 @@ impl Mailbox {
     /// Panics if the sending rank has terminated without ever sending a
     /// matching message (which in a correct SPMD program is a deadlock bug).
     pub fn recv_matching(&mut self, sender: usize, tag: u64) -> Packet {
-        if let Some(pos) = self.pending[sender].iter().position(|p| p.tag == tag) {
-            return self.pending[sender].remove(pos).expect("position valid");
+        if let Some(q) = self.pending[sender].get_mut(&tag) {
+            if let Some(pkt) = q.pop_front() {
+                if q.is_empty() {
+                    self.pending[sender].remove(&tag);
+                }
+                return pkt;
+            }
         }
         loop {
             let pkt = self.from[sender].recv().unwrap_or_else(|_| {
@@ -38,14 +47,21 @@ impl Mailbox {
             if pkt.tag == tag {
                 return pkt;
             }
-            self.pending[sender].push_back(pkt);
+            self.pending[sender]
+                .entry(pkt.tag)
+                .or_default()
+                .push_back(pkt);
         }
     }
 
     /// Number of buffered (received but unmatched) messages; used by the
     /// runner to detect messages that were sent but never received.
     pub fn unconsumed(&self) -> usize {
-        self.pending.iter().map(VecDeque::len).sum::<usize>()
+        self.pending
+            .iter()
+            .flat_map(HashMap::values)
+            .map(VecDeque::len)
+            .sum::<usize>()
             + self.from.iter().map(Receiver::len).sum::<usize>()
     }
 }
@@ -67,7 +83,7 @@ pub fn build_network(n: usize) -> (Vec<Vec<Sender<Packet>>>, Vec<Mailbox>) {
         senders.push(row_tx);
         mailboxes.push(Mailbox {
             from: row_rx,
-            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: (0..n).map(|_| HashMap::new()).collect(),
         });
     }
     (senders, mailboxes)
@@ -76,6 +92,7 @@ pub fn build_network(n: usize) -> (Vec<Vec<Sender<Packet>>>, Vec<Mailbox>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::PacketBody;
 
     fn pkt(from: usize, tag: u64, val: i32) -> Packet {
         Packet {
@@ -83,8 +100,15 @@ mod tests {
             tag,
             bytes: 4,
             arrival_time: 0.0,
-            payload: Box::new(val),
+            body: PacketBody::Owned(Box::new(val)),
         }
+    }
+
+    fn val(p: Packet) -> i32 {
+        let PacketBody::Owned(b) = p.body else {
+            panic!("expected owned body");
+        };
+        *b.downcast::<i32>().unwrap()
     }
 
     #[test]
@@ -94,8 +118,23 @@ mod tests {
         tx[0][1].send(pkt(1, 5, 20)).unwrap();
         let a = mb[0].recv_matching(1, 5);
         let b = mb[0].recv_matching(1, 5);
-        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 10);
-        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 20);
+        assert_eq!(val(a), 10);
+        assert_eq!(val(b), 20);
+    }
+
+    #[test]
+    fn fifo_order_preserved_through_pending_buffer() {
+        let (tx, mut mb) = build_network(2);
+        // Three same-tag messages buffered while waiting for another tag.
+        tx[0][1].send(pkt(1, 9, 1)).unwrap();
+        tx[0][1].send(pkt(1, 9, 2)).unwrap();
+        tx[0][1].send(pkt(1, 9, 3)).unwrap();
+        tx[0][1].send(pkt(1, 8, 99)).unwrap();
+        assert_eq!(val(mb[0].recv_matching(1, 8)), 99);
+        assert_eq!(val(mb[0].recv_matching(1, 9)), 1);
+        assert_eq!(val(mb[0].recv_matching(1, 9)), 2);
+        assert_eq!(val(mb[0].recv_matching(1, 9)), 3);
+        assert_eq!(mb[0].unconsumed(), 0);
     }
 
     #[test]
@@ -105,9 +144,9 @@ mod tests {
         tx[0][1].send(pkt(1, 2, 200)).unwrap();
         // Ask for tag 2 first; tag-1 message must be buffered, not lost.
         let b = mb[0].recv_matching(1, 2);
-        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 200);
+        assert_eq!(val(b), 200);
         let a = mb[0].recv_matching(1, 1);
-        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 100);
+        assert_eq!(val(a), 100);
         assert_eq!(mb[0].unconsumed(), 0);
     }
 
@@ -129,8 +168,22 @@ mod tests {
         tx[2][1].send(pkt(1, 1, 8)).unwrap();
         // Receive from rank 1 first even though rank 0's message arrived first.
         let b = mb[2].recv_matching(1, 1);
-        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 8);
+        assert_eq!(val(b), 8);
         let a = mb[2].recv_matching(0, 1);
-        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 7);
+        assert_eq!(val(a), 7);
+    }
+
+    #[test]
+    fn many_distinct_tags_match_without_scanning() {
+        let (tx, mut mb) = build_network(2);
+        for t in 0..256u64 {
+            tx[0][1].send(pkt(1, t, t as i32)).unwrap();
+        }
+        // Receive in reverse order: every receive after the first hits the
+        // tag index rather than re-scanning the whole pending set.
+        for t in (0..256u64).rev() {
+            assert_eq!(val(mb[0].recv_matching(1, t)), t as i32);
+        }
+        assert_eq!(mb[0].unconsumed(), 0);
     }
 }

@@ -1,11 +1,26 @@
 //! Internal wire format of the simulated network.
 
 use std::any::Any;
+use std::sync::Arc;
+
+/// The type-erased contents of a [`Packet`].
+///
+/// Point-to-point sends carry [`PacketBody::Owned`] data — the receiver
+/// takes it without copying. Fan-out collectives carry
+/// [`PacketBody::Shared`] data, a reference-counted handle to a single
+/// allocation that every hop of the collective forwards by refcount; see
+/// [`crate::Shared`].
+pub enum PacketBody {
+    /// Exclusively owned payload, moved to the receiver.
+    Owned(Box<dyn Any + Send>),
+    /// Reference-counted payload shared across a collective's fan-out.
+    Shared(Arc<dyn Any + Send + Sync>),
+}
 
 /// A message in flight. The payload is type-erased; [`crate::Ctx::recv`]
-/// downcasts it back to the concrete type the receiver expects — a type
-/// mismatch between matched send/recv pairs is a program bug and panics
-/// with a diagnostic.
+/// (or [`crate::Ctx::recv_shared`]) downcasts it back to the concrete type
+/// the receiver expects — a type mismatch between matched send/recv pairs
+/// is a program bug and panics with a diagnostic.
 pub struct Packet {
     /// Sending rank.
     pub from: usize,
@@ -16,7 +31,7 @@ pub struct Packet {
     /// Virtual time at which the message is fully available at the receiver.
     pub arrival_time: f64,
     /// The type-erased payload.
-    pub payload: Box<dyn Any + Send>,
+    pub body: PacketBody,
 }
 
 impl std::fmt::Debug for Packet {
@@ -26,7 +41,14 @@ impl std::fmt::Debug for Packet {
             .field("tag", &self.tag)
             .field("bytes", &self.bytes)
             .field("arrival_time", &self.arrival_time)
-            .finish_non_exhaustive()
+            .field(
+                "body",
+                &match self.body {
+                    PacketBody::Owned(_) => "Owned(..)",
+                    PacketBody::Shared(_) => "Shared(..)",
+                },
+            )
+            .finish()
     }
 }
 
@@ -35,16 +57,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn packet_roundtrips_payload_through_any() {
+    fn packet_roundtrips_owned_payload_through_any() {
         let p = Packet {
             from: 3,
             tag: 7,
             bytes: 24,
             arrival_time: 1.5,
-            payload: Box::new(vec![1i64, 2, 3]),
+            body: PacketBody::Owned(Box::new(vec![1i64, 2, 3])),
         };
-        let v = p.payload.downcast::<Vec<i64>>().expect("type should match");
+        let PacketBody::Owned(b) = p.body else {
+            panic!("expected owned body");
+        };
+        let v = b.downcast::<Vec<i64>>().expect("type should match");
         assert_eq!(*v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn packet_roundtrips_shared_payload_through_any() {
+        let arc: Arc<dyn std::any::Any + Send + Sync> = Arc::new(vec![9u32, 8]);
+        let p = Packet {
+            from: 0,
+            tag: 1,
+            bytes: 8,
+            arrival_time: 0.0,
+            body: PacketBody::Shared(arc),
+        };
+        let PacketBody::Shared(a) = p.body else {
+            panic!("expected shared body");
+        };
+        let v = a.downcast::<Vec<u32>>().expect("type should match");
+        assert_eq!(*v, vec![9, 8]);
     }
 
     #[test]
@@ -54,7 +96,7 @@ mod tests {
             tag: 42,
             bytes: 0,
             arrival_time: 0.0,
-            payload: Box::new(()),
+            body: PacketBody::Owned(Box::new(())),
         };
         let s = format!("{p:?}");
         assert!(s.contains("from: 1") && s.contains("tag: 42"));

@@ -1,4 +1,5 @@
-//! Message payload typing and size accounting.
+//! Message payload typing, size accounting, and shared (zero-copy)
+//! payload handles.
 //!
 //! The virtual-time model charges per byte transferred, so every message
 //! payload must report its size on the wire. [`Payload`] is the trait the
@@ -6,8 +7,16 @@
 //! whose wire size equals `size_of::<T>()`, with blanket [`Payload`]
 //! implementations for `T`, `Vec<T>` and `Box<[T]>`.
 //!
+//! [`Shared`] is an `Arc`-backed payload handle used by the fan-out
+//! collectives: forwarding a `Shared` along a broadcast tree or an
+//! all-gather ring clones a reference count, not the data, so the wire
+//! *cost* of every hop is still charged by the virtual-time model while
+//! the host does O(1) deep copies per rank instead of O(log n) or O(n).
+//!
 //! Application crates implement [`FixedSize`] for their own POD structs with
 //! the [`impl_fixed_size!`](crate::impl_fixed_size) macro.
+
+use std::sync::Arc;
 
 /// Marker for plain-old-data message elements: `Copy` types with no heap
 /// indirection, whose transmitted size is exactly `size_of::<Self>()`.
@@ -34,7 +43,23 @@ macro_rules! impl_fixed_size {
 }
 
 impl_fixed_size!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
 );
 
 impl<T: FixedSize, const N: usize> FixedSize for [T; N] {}
@@ -77,7 +102,77 @@ impl Payload for String {
 /// their parts; the per-message latency is charged once by the send itself.
 impl<T: FixedSize> Payload for Vec<Vec<T>> {
     fn size_bytes(&self) -> usize {
-        self.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum()
+        self.iter()
+            .map(|v| v.len() * std::mem::size_of::<T>())
+            .sum()
+    }
+}
+
+/// A reference-counted payload handle.
+///
+/// `Shared<T>` wraps its value in an [`Arc`] so a message can be fanned
+/// out to many destinations — or forwarded hop by hop through a
+/// collective — without deep-copying the value. Cloning a `Shared` is a
+/// refcount increment; the underlying `T` is deep-copied at most once per
+/// rank, and only when [`Shared::into_inner`] finds other live handles.
+///
+/// The virtual-time cost model is unaffected: every send of a `Shared`
+/// still charges the full wire size of the payload, exactly as the
+/// simulated network would. Only *host* copy work is elided.
+#[derive(Debug)]
+pub struct Shared<T: ?Sized>(Arc<T>);
+
+impl<T> Shared<T> {
+    /// Wrap `value` without copying it.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(value))
+    }
+
+    /// Borrow the wrapped value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Recover an owned `T`: moves out when this is the last handle,
+    /// otherwise performs the (single) deep copy.
+    pub fn into_inner(self) -> T
+    where
+        T: Clone,
+    {
+        Arc::try_unwrap(self.0).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    pub(crate) fn from_arc(arc: Arc<T>) -> Self {
+        Shared(arc)
+    }
+
+    pub(crate) fn as_arc(&self) -> &Arc<T> {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Shared<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl<T: Payload + Sync> Payload for Shared<T> {
+    fn size_bytes(&self) -> usize {
+        self.0.size_bytes()
     }
 }
 
@@ -121,5 +216,26 @@ mod tests {
     #[test]
     fn string_size_is_byte_length() {
         assert_eq!(Payload::size_bytes(&String::from("abcd")), 4);
+    }
+
+    #[test]
+    fn shared_reports_inner_wire_size() {
+        let s = Shared::new(vec![0u32; 16]);
+        assert_eq!(s.size_bytes(), 64);
+        assert_eq!(s.clone().size_bytes(), 64);
+    }
+
+    #[test]
+    fn shared_into_inner_moves_when_unique() {
+        let s = Shared::new(vec![1i64, 2, 3]);
+        assert_eq!(s.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_into_inner_copies_when_aliased() {
+        let a = Shared::new(vec![7u8; 4]);
+        let b = a.clone();
+        assert_eq!(a.into_inner(), vec![7; 4]);
+        assert_eq!(*b.get(), vec![7; 4]);
     }
 }

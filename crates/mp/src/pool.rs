@@ -1,0 +1,294 @@
+//! Persistent worker pool for the SPMD runner.
+//!
+//! The seed runner spawned `nprocs` fresh OS threads per [`crate::run_spmd`]
+//! call, so benches and services invoking it in a loop paid n×thread-spawn
+//! per invocation — more than the archetype body itself for small runs.
+//! This pool keeps workers alive across calls: a dispatch hands each rank
+//! to an already-running thread through that thread's private channel, and
+//! the worker re-registers itself as idle when the rank's body returns.
+//!
+//! Every rank of an SPMD run *blocks* on receives from its peers, so a
+//! batch of `n` ranks needs `n` threads running concurrently — a
+//! fixed-size pool with a shared queue would deadlock (queued ranks would
+//! wait forever on running ranks that wait on them). Dispatch therefore
+//! *reserves* one worker per rank up front, growing the pool when fewer
+//! workers are idle, and never multiplexes two runs onto one thread. The
+//! idle set is trimmed back to [`MAX_IDLE_WORKERS`] after each batch, so
+//! a one-off huge run does not pin its thread count for the process
+//! lifetime.
+//!
+//! # Scoped jobs
+//!
+//! Jobs borrow the caller's stack (the SPMD body is `Fn(&mut Ctx) -> R`
+//! with no `'static` bound), so [`run_scoped`] erases their lifetime to
+//! hand them to the pool and then **blocks until every dispatched job has
+//! signalled completion** before returning — the same contract as
+//! `std::thread::scope`, with the threads outliving the scope instead of
+//! being torn down. The wait is enforced by a drop guard, so it holds
+//! even if dispatch itself unwinds mid-batch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// A lifetime-erased unit of work.
+struct Job(Box<dyn FnOnce() + Send + 'static>);
+
+/// What a worker thread receives on its private channel.
+enum Msg {
+    /// Execute the job, then re-register as idle.
+    Run(Job),
+    /// Leave the pool (idle-trim); the thread exits.
+    Exit,
+}
+
+/// Handle to one idle worker thread: the send side of its private queue.
+struct Worker {
+    tx: Sender<Msg>,
+}
+
+/// Idle workers kept after a batch; anything above this is told to exit.
+/// Dispatches larger than the cap still run (the pool grows to whatever a
+/// batch needs) — only the *retained* idle set is bounded.
+const MAX_IDLE_WORKERS: usize = 256;
+
+static IDLE: OnceLock<Mutex<Vec<Worker>>> = OnceLock::new();
+
+fn idle() -> &'static Mutex<Vec<Worker>> {
+    IDLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Count-up latch: completions are signalled as they happen and the
+/// dispatcher waits for however many jobs it actually sent.
+struct Latch {
+    completed: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        let mut done = self.completed.lock().unwrap();
+        *done += 1;
+        self.done.notify_all();
+    }
+
+    fn wait_for(&self, count: usize) {
+        let mut done = self.completed.lock().unwrap();
+        while *done < count {
+            done = self.done.wait(done).unwrap();
+        }
+    }
+}
+
+/// Signals the latch when dropped: on normal job completion, when a job
+/// unwinds, and even when an undelivered job is dropped by a failed send
+/// — every dispatched job signals exactly once, no matter what.
+struct SignalOnDrop<'a>(&'a Latch);
+
+impl Drop for SignalOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.signal();
+    }
+}
+
+/// Blocks until every job counted in `sent` has signalled. Runs on drop,
+/// so the borrows erased by `run_scoped`'s transmute stay alive until all
+/// dispatched jobs are done even if dispatch unwinds mid-batch.
+struct WaitForSent<'a> {
+    latch: &'a Latch,
+    sent: usize,
+}
+
+impl Drop for WaitForSent<'_> {
+    fn drop(&mut self) {
+        self.latch.wait_for(self.sent);
+    }
+}
+
+fn spawn_worker() -> Worker {
+    let (tx, rx) = unbounded::<Msg>();
+    let own_tx = tx.clone();
+    std::thread::Builder::new()
+        .name("spmd-worker".into())
+        .spawn(move || {
+            while let Ok(Msg::Run(Job(f))) = rx.recv() {
+                // Jobs built by `run_scoped` never unwind (they wrap the
+                // body in catch_unwind); this outer catch only keeps the
+                // worker alive if that invariant is ever broken.
+                if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                    eprintln!("spmd-worker: job escaped its panic guard");
+                }
+                idle().lock().unwrap().push(Worker { tx: own_tx.clone() });
+            }
+        })
+        .expect("spawn spmd worker thread");
+    Worker { tx }
+}
+
+/// Number of worker threads currently idle (diagnostics / tests).
+pub fn idle_workers() -> usize {
+    idle().lock().unwrap().len()
+}
+
+/// Tell idle workers beyond [`MAX_IDLE_WORKERS`] to exit. Opportunistic:
+/// workers still re-registering are trimmed by a later batch instead.
+fn trim_idle() {
+    let mut excess = Vec::new();
+    {
+        let mut pool = idle().lock().unwrap();
+        while pool.len() > MAX_IDLE_WORKERS {
+            excess.extend(pool.pop());
+        }
+    }
+    for worker in excess {
+        // A worker that somehow vanished already satisfies the goal.
+        let _ = worker.tx.send(Msg::Exit);
+    }
+}
+
+/// Run `jobs` concurrently — one dedicated worker per job — and return
+/// once all of them have finished. Jobs may borrow from the caller's
+/// stack; panics inside a job must be contained by the job itself (the
+/// runner wraps every rank in `catch_unwind` and propagates the payload
+/// after the batch completes).
+pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let latch = Latch::new();
+    // Dropped at the end of this function — or during unwinding if
+    // anything below panics — and blocks either way until every job
+    // counted in `sent` has signalled. This is what makes the lifetime
+    // erasure sound: no borrow handed to a worker can outlive this frame.
+    let mut scope = WaitForSent {
+        latch: &latch,
+        sent: 0,
+    };
+
+    // Reserve one worker per job before dispatching anything: ranks
+    // block on each other, so partial dispatch onto too few threads
+    // would deadlock.
+    let mut workers = {
+        let mut pool = idle().lock().unwrap();
+        let keep = pool.len() - n.min(pool.len());
+        pool.split_off(keep)
+    };
+    while workers.len() < n {
+        workers.push(spawn_worker());
+    }
+    for (worker, job) in workers.into_iter().zip(jobs) {
+        let guard_latch = &latch;
+        let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let _signal = SignalOnDrop(guard_latch);
+            job();
+        });
+        // SAFETY: the transmute only erases the borrow lifetimes inside
+        // the job. Each job signals `latch` exactly once (SignalOnDrop
+        // fires on completion, unwind, or undelivered drop), `scope.sent`
+        // counts it before the send, and `scope`'s Drop blocks this frame
+        // until that many signals arrive — so everything the job borrows
+        // outlives its execution. The worker drops the job before
+        // re-registering itself.
+        let wrapped: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
+        scope.sent += 1;
+        worker
+            .tx
+            .send(Msg::Run(Job(wrapped)))
+            .expect("worker thread alive");
+    }
+    drop(scope); // wait for all dispatched jobs
+    trim_idle();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_scope_waits() {
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..32)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn workers_are_reused_across_batches() {
+        // Record which OS threads execute a batch; a later batch reusing
+        // any of them proves pooling. The pool is process-global and other
+        // tests dispatch onto it concurrently, so thread identity — not
+        // the global idle count — is the only race-free observable; retry
+        // a few times in case a concurrent test snatches our warmed
+        // workers between batches.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let batch = |k: usize| -> HashSet<std::thread::ThreadId> {
+            let seen = Mutex::new(HashSet::new());
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..k)
+                .map(|_| {
+                    Box::new(|| {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(jobs);
+            seen.into_inner().unwrap()
+        };
+        for _attempt in 0..5 {
+            let first = batch(8);
+            // Workers re-register asynchronously after signalling the
+            // latch; give them a moment to return to the idle pool.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let second = batch(8);
+            if first.intersection(&second).next().is_some() {
+                return; // at least one worker thread was reused
+            }
+        }
+        panic!("no worker thread was reused across five batch pairs");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        run_scoped(Vec::new());
+    }
+
+    #[test]
+    fn idle_set_is_bounded_after_large_batches() {
+        // A batch far above the retention cap must not pin its workers.
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..MAX_IDLE_WORKERS + 40)
+            .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        run_scoped(jobs);
+        // Re-registration is asynchronous; run a small batch afterwards so
+        // its trailing trim sees the re-registered workers, then check.
+        for _ in 0..10 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            run_scoped(vec![Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>]);
+            // Other tests may be holding workers; the bound below is on
+            // the retained idle set, which trim_idle enforces.
+            if idle_workers() <= MAX_IDLE_WORKERS {
+                return;
+            }
+        }
+        panic!(
+            "idle workers not trimmed below {MAX_IDLE_WORKERS}: {}",
+            idle_workers()
+        );
+    }
+}

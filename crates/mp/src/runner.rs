@@ -1,10 +1,34 @@
-//! SPMD runner: spawns one OS thread per rank, wires up the network, runs
-//! the body, and reports results plus virtual-time and traffic statistics.
+//! SPMD runner: wires up the network, runs one rank per worker thread,
+//! and reports results plus virtual-time and traffic statistics.
+//!
+//! Two execution paths exist:
+//!
+//! * [`run_spmd`] / [`run_spmd_quiet`] dispatch ranks onto the persistent
+//!   worker pool ([`crate::pool`]) and **recycle the channel network**: a
+//!   run that ends with every message consumed returns its `n × n`
+//!   channel mesh to a per-size cache, so repeated calls stop paying
+//!   n×thread-spawn plus n² channel construction per invocation.
+//! * [`run_spmd_unpooled`] spawns fresh OS threads and a fresh network
+//!   every call — the seed behaviour, kept as the comparison baseline for
+//!   the `substrate_overhead` bench and for callers that want full
+//!   isolation.
+//!
+//! Virtual-time semantics are identical on both paths: clocks are driven
+//! only by the machine model and message arrival times, never by host
+//! scheduling, so `determinism_same_program_same_clocks` holds regardless
+//! of which threads execute which rank.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
 
 use crate::ctx::Ctx;
-use crate::mailbox::build_network;
+use crate::mailbox::{build_network, Mailbox};
 use crate::model::MachineModel;
-use crate::stats::RunStats;
+use crate::packet::Packet;
+use crate::pool;
+use crate::stats::{RankStats, RunStats};
+use crossbeam::channel::Sender;
 
 /// Everything a finished SPMD run reports.
 #[derive(Debug)]
@@ -30,54 +54,162 @@ impl<R> SpmdResult<R> {
     }
 }
 
-fn run_inner<F, R>(nprocs: usize, model: MachineModel, body: F, check_leaks: bool) -> SpmdResult<R>
+/// One rank's endpoints: the send sides of its outgoing channels and its
+/// mailbox. Owned by the rank's `Ctx` while running; returned afterwards
+/// so a clean network can be recycled.
+struct RankLinks {
+    senders: Vec<Sender<Packet>>,
+    mailbox: Mailbox,
+}
+
+/// Per-size cache of quiescent networks. Only networks whose every
+/// channel and pending buffer is empty (leak check passed) are returned
+/// here, so recycling can never leak a stale packet into the next run.
+static NETWORK_CACHE: OnceLock<Mutex<NetworkCache>> = OnceLock::new();
+
+/// Networks kept per process count; each costs `n²` empty channels.
+const CACHED_NETWORKS_PER_SIZE: usize = 2;
+
+/// Upper bound on the total number of empty channels retained across all
+/// cached networks, so sweeping many process counts (or one huge run)
+/// cannot pin unbounded memory for the process lifetime. 32k channels ≈
+/// the meshes of two 128-rank runs.
+const CACHE_CHANNEL_BUDGET: usize = 32 * 1024;
+
+#[derive(Default)]
+struct NetworkCache {
+    by_size: HashMap<usize, Vec<Vec<RankLinks>>>,
+    /// Total channels (`Σ n²`) currently held in `by_size`.
+    channels: usize,
+}
+
+fn network_cache() -> &'static Mutex<NetworkCache> {
+    NETWORK_CACHE.get_or_init(|| Mutex::new(NetworkCache::default()))
+}
+
+/// Build a fresh network, transposed so each rank *owns* its outgoing
+/// channel ends: when a rank panics its senders drop, and peers blocked
+/// on receives from it fail fast rather than deadlocking.
+fn fresh_network(nprocs: usize) -> Vec<RankLinks> {
+    let (senders_by_dest, mailboxes) = build_network(nprocs);
+    mailboxes
+        .into_iter()
+        .enumerate()
+        .map(|(src, mailbox)| RankLinks {
+            senders: (0..nprocs)
+                .map(|dest| senders_by_dest[dest][src].clone())
+                .collect(),
+            mailbox,
+        })
+        .collect()
+}
+
+fn acquire_network(nprocs: usize) -> Vec<RankLinks> {
+    {
+        let mut cache = network_cache().lock().unwrap();
+        if let Some(links) = cache.by_size.get_mut(&nprocs).and_then(Vec::pop) {
+            cache.channels -= nprocs * nprocs;
+            return links;
+        }
+    }
+    fresh_network(nprocs)
+}
+
+fn release_network(nprocs: usize, links: Vec<RankLinks>) {
+    let channels = nprocs * nprocs;
+    let mut cache = network_cache().lock().unwrap();
+    if cache.channels + channels > CACHE_CHANNEL_BUDGET {
+        return; // over budget: drop the network instead of retaining it
+    }
+    let slot = cache.by_size.entry(nprocs).or_default();
+    if slot.len() < CACHED_NETWORKS_PER_SIZE {
+        slot.push(links);
+        cache.channels += channels;
+    }
+}
+
+type RankOutcome<R> = (R, f64, RankStats, RankLinks);
+type JobResult<R> = Result<RankOutcome<R>, Box<dyn std::any::Any + Send>>;
+
+fn run_inner<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    body: F,
+    check_leaks: bool,
+    pooled: bool,
+) -> SpmdResult<R>
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
     assert!(nprocs > 0, "need at least one process");
-    let (senders_by_dest, mailboxes) = build_network(nprocs);
-    // Transpose so each rank *owns* its outgoing channel ends: when a rank
-    // panics its senders drop, and peers blocked on receives from it fail
-    // fast rather than deadlocking.
-    let mut per_src: Vec<Vec<crossbeam::channel::Sender<crate::packet::Packet>>> = (0..nprocs)
-        .map(|src| {
-            (0..nprocs)
-                .map(|dest| senders_by_dest[dest][src].clone())
-                .collect()
-        })
-        .collect();
-    drop(senders_by_dest);
+    let links = if pooled {
+        acquire_network(nprocs)
+    } else {
+        fresh_network(nprocs)
+    };
 
+    let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
     let body = &body;
-    let mut outcomes: Vec<Option<(R, f64, crate::stats::RankStats, usize)>> =
-        (0..nprocs).map(|_| None).collect();
+    let run_rank = |rank: usize, links: RankLinks| -> JobResult<R> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = Ctx::new(rank, nprocs, links.senders, links.mailbox, model);
+            let r = body(&mut ctx);
+            let now = ctx.now();
+            let stats = ctx.stats();
+            let (senders, mailbox) = ctx.into_parts();
+            (r, now, stats, RankLinks { senders, mailbox })
+        }))
+    };
+    let run_rank = &run_rank;
+    let slots_ref = &slots;
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nprocs);
-        let mailboxes_iter = mailboxes.into_iter().enumerate();
-        let mut srcs = per_src.drain(..);
-        for (rank, mailbox) in mailboxes_iter {
-            let senders = srcs.next().expect("one sender row per rank");
-            handles.push(scope.spawn(move || {
-                let mut ctx = Ctx::new(rank, nprocs, senders, mailbox, model);
-                let r = body(&mut ctx);
-                (r, ctx.now(), ctx.stats(), ctx.mailbox_unconsumed())
-            }));
-        }
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(out) => outcomes[rank] = Some(out),
-                Err(e) => std::panic::resume_unwind(e),
+    if pooled {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = links
+            .into_iter()
+            .enumerate()
+            .map(|(rank, l)| {
+                Box::new(move || {
+                    *slots_ref[rank].lock().unwrap() = Some(run_rank(rank, l));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(jobs);
+    } else {
+        std::thread::scope(|scope| {
+            for (rank, l) in links.into_iter().enumerate() {
+                scope.spawn(move || {
+                    *slots_ref[rank].lock().unwrap() = Some(run_rank(rank, l));
+                });
             }
-        }
-    });
+        });
+    }
 
+    // Assemble outcomes; a panic in any rank takes precedence and is
+    // re-raised on the caller thread (matching `std::thread::scope`).
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
-    for (rank, o) in outcomes.into_iter().enumerate() {
-        let (r, t, s, unconsumed) = o.expect("all ranks joined");
+    let mut links_back = Vec::with_capacity(nprocs);
+    let mut outcomes = Vec::with_capacity(nprocs);
+    for slot in &slots {
+        match slot.lock().unwrap().take().expect("all ranks completed") {
+            Ok(out) => outcomes.push(out),
+            Err(panic_payload) => resume_unwind(panic_payload),
+        }
+    }
+    for (r, now, stats, l) in outcomes {
+        results.push(r);
+        rank_times.push(now);
+        per_rank.push(stats);
+        links_back.push(l);
+    }
+    // The leak check runs here — after every rank has returned — so it
+    // sees a quiescent network: no send can still be in flight, making
+    // the count exact rather than racing against slower peers.
+    let mut leaked = false;
+    for (rank, l) in links_back.iter().enumerate() {
+        let unconsumed = l.mailbox.unconsumed();
         if check_leaks {
             assert_eq!(
                 unconsumed, 0,
@@ -85,10 +217,12 @@ where
                  mismatched send/recv in the SPMD program"
             );
         }
-        results.push(r);
-        rank_times.push(t);
-        per_rank.push(s);
+        leaked |= unconsumed > 0;
     }
+    if pooled && !leaked {
+        release_network(nprocs, links_back);
+    }
+
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
     SpmdResult {
         results,
@@ -102,12 +236,17 @@ where
 /// machine model. Panics in any rank propagate; on completion every sent
 /// message must have been received (leak check), which catches mismatched
 /// protocols early.
+///
+/// Ranks execute on a persistent worker pool and the channel network is
+/// recycled between calls, so calling this in a loop costs a pool
+/// dispatch — not `nprocs` thread spawns plus `nprocs²` channel
+/// constructions — per invocation.
 pub fn run_spmd<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_inner(nprocs, model, body, true)
+    run_inner(nprocs, model, body, true, true)
 }
 
 /// Like [`run_spmd`] but without the message-leak check. Useful in tests
@@ -117,7 +256,19 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_inner(nprocs, model, body, false)
+    run_inner(nprocs, model, body, false, true)
+}
+
+/// [`run_spmd`] on the seed execution path: fresh OS threads and a fresh
+/// channel network every call, nothing pooled or recycled. Kept as the
+/// baseline the `substrate_overhead` bench compares against, and for
+/// callers that want complete isolation between runs.
+pub fn run_spmd_unpooled<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    run_inner(nprocs, model, body, true, false)
 }
 
 #[cfg(test)]
@@ -155,8 +306,59 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.rank_times, b.rank_times, "virtual time must be deterministic");
+        assert_eq!(
+            a.rank_times, b.rank_times,
+            "virtual time must be deterministic"
+        );
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_agree() {
+        let body = |ctx: &mut Ctx| {
+            let s = ctx.all_reduce(ctx.rank() as u64 + 1, |a, b| a + b);
+            ctx.barrier();
+            (s, ctx.now())
+        };
+        let pooled = run_spmd(6, MachineModel::ibm_sp(), body);
+        let unpooled = run_spmd_unpooled(6, MachineModel::ibm_sp(), body);
+        assert_eq!(pooled.results, unpooled.results);
+        assert_eq!(pooled.rank_times, unpooled.rank_times);
+    }
+
+    #[test]
+    fn repeated_runs_recycle_the_network() {
+        // Uses a process count no other test in this crate runs at, so
+        // concurrent tests cannot pop the cached network between the runs
+        // and the observation below.
+        const N: usize = 23;
+        for _ in 0..3 {
+            run_spmd(N, MachineModel::zero_comm(), |ctx| {
+                ctx.all_reduce(1u64, |a, b| a + b)
+            });
+        }
+        let cached = network_cache()
+            .lock()
+            .unwrap()
+            .by_size
+            .get(&N)
+            .map_or(0, Vec::len);
+        assert!(cached >= 1, "a clean {N}-rank network should be cached");
+    }
+
+    #[test]
+    fn oversized_networks_are_not_retained() {
+        // 200² channels exceed the cache budget on their own; the run
+        // must succeed and the network must be dropped, not cached.
+        const N: usize = 200;
+        run_spmd(N, MachineModel::zero_comm(), |ctx| ctx.rank());
+        let cached = network_cache()
+            .lock()
+            .unwrap()
+            .by_size
+            .get(&N)
+            .map_or(0, Vec::len);
+        assert_eq!(cached, 0, "an over-budget network must not be cached");
     }
 
     #[test]
@@ -170,6 +372,28 @@ mod tests {
                 let _: u8 = ctx.recv(0, 0);
             }
         });
+    }
+
+    #[test]
+    fn leaky_quiet_runs_do_not_poison_later_runs() {
+        // A quiet run that leaves messages in flight must not hand its
+        // dirty network to a subsequent same-size run.
+        run_spmd_quiet(3, MachineModel::zero_comm(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 77, vec![1u8, 2, 3]); // never received
+            }
+        });
+        let out = run_spmd_quiet(3, MachineModel::zero_comm(), |ctx| {
+            // If the dirty network were recycled, the stale tag-77 packet
+            // could satisfy this receive with wrong data.
+            if ctx.rank() == 1 {
+                ctx.send(0, 5, 9u64);
+            } else if ctx.rank() == 0 {
+                return ctx.recv::<u64>(1, 5);
+            }
+            0
+        });
+        assert_eq!(out.results[0], 9);
     }
 
     #[test]

@@ -279,8 +279,7 @@ mod tests {
     fn block_sizes_differ_by_at_most_one() {
         for n in [10usize, 11, 97] {
             for parts in 1..=8 {
-                let sizes: Vec<usize> =
-                    (0..parts).map(|i| block_range(n, parts, i).1).collect();
+                let sizes: Vec<usize> = (0..parts).map(|i| block_range(n, parts, i).1).collect();
                 let mx = *sizes.iter().max().unwrap();
                 let mn = *sizes.iter().min().unwrap();
                 assert!(mx - mn <= 1);

@@ -176,10 +176,7 @@ mod tests {
             assert!((z.abs() - 1.0).abs() < 1e-12);
         }
         assert!(close(Complex::cis(0.0), Complex::ONE));
-        assert!(close(
-            Complex::cis(std::f64::consts::FRAC_PI_2),
-            Complex::I
-        ));
+        assert!(close(Complex::cis(std::f64::consts::FRAC_PI_2), Complex::I));
     }
 
     #[test]

@@ -79,7 +79,10 @@ mod tests {
         let e4 = (central_diff1_4th(f(x0 - 2.0 * h), f(x0 - h), f(x0 + h), f(x0 + 2.0 * h), h)
             - exact)
             .abs();
-        assert!(e4 < e2 / 10.0, "e4={e4} should be much smaller than e2={e2}");
+        assert!(
+            e4 < e2 / 10.0,
+            "e4={e4} should be much smaller than e2={e2}"
+        );
     }
 
     #[test]

@@ -35,8 +35,8 @@ fn main() {
             let (i, j) = (k / n, k % n);
             let x = i as f64 / n as f64;
             let y = j as f64 / n as f64;
-            let smooth = (2.0 * std::f64::consts::PI * x).sin()
-                * (2.0 * std::f64::consts::PI * y).cos();
+            let smooth =
+                (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).cos();
             let noise = 0.3 * ((i * 7919 + j * 104729) % 17) as f64 / 17.0;
             Complex::from_re(smooth + noise)
         })
@@ -73,7 +73,10 @@ fn main() {
         .sqrt();
 
     println!("{n}x{n} image, cutoff |k| <= {cutoff}: zeroed {zeroed} modes");
-    println!("energy before {e0:.1}, after low-pass {e1:.1} ({:.1}% retained)", 100.0 * e1 / e0);
+    println!(
+        "energy before {e0:.1}, after low-pass {e1:.1} ({:.1}% retained)",
+        100.0 * e1 / e0
+    );
     println!("L2 distance to original (the removed noise): {residual:.2}");
     assert!(e1 < e0, "filter must remove energy");
     assert!(e1 > 0.5 * e0, "filter must keep the smooth component");

@@ -13,9 +13,13 @@ fn main() {
     let mut s = 0xfeedu64;
     let items: Vec<(u64, u64)> = (0..26)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let w = (s >> 33) % 60 + 5;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (s >> 33) % 120 + 1;
             (w, v)
         })
@@ -24,7 +28,10 @@ fn main() {
     let problem = Knapsack::new(&items, capacity);
 
     let oracle = knapsack_dp(&items, capacity);
-    println!("{} items, capacity {capacity}; DP oracle optimum = {oracle}", items.len());
+    println!(
+        "{} items, capacity {capacity}; DP oracle optimum = {oracle}",
+        items.len()
+    );
 
     let (best, stats) = solve_sequential(&problem);
     println!(

@@ -22,7 +22,10 @@ fn main() {
     };
 
     let pg = ProcessGrid2::new(2, 2);
-    println!("airshed {}x{} over a {}x{} process grid; source at {:?}", base.nx, base.ny, pg.px, pg.py, base.source);
+    println!(
+        "airshed {}x{} over a {}x{} process grid; source at {:?}",
+        base.nx, base.ny, pg.px, pg.py, base.source
+    );
     println!("{:>8} {:>12} {:>12}", "steps", "peak O3", "NO at source");
 
     for segments in [25usize, 50, 100, 200] {

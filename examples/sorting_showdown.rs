@@ -10,7 +10,9 @@ use parallel_archetypes::dc::{OneDeepMergesort, OneDeepQuicksort};
 use parallel_archetypes::mp::{run_spmd, CostMeter, MachineModel};
 
 fn blocks(n: usize, p: usize) -> Vec<Vec<i64>> {
-    let data: Vec<i64> = (0..n).map(|i| ((i as i64) * 16807) % 999_983 - 500_000).collect();
+    let data: Vec<i64> = (0..n)
+        .map(|i| ((i as i64) * 16807) % 999_983 - 500_000)
+        .collect();
     (0..p)
         .map(|r| {
             let (s, l) = parallel_archetypes::mp::topology::block_range(n, p, r);

@@ -50,7 +50,9 @@ fn one_deep_with_more_processes_than_items() {
 #[test]
 fn hull_of_collinear_points_through_the_skeleton() {
     // All points on one line: the hull degenerates to the two endpoints.
-    let pts: Vec<Point> = (0..40).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+    let pts: Vec<Point> = (0..40)
+        .map(|i| Point::new(i as f64, 2.0 * i as f64))
+        .collect();
     let direct = convex_hull(&pts);
     assert_eq!(direct.len(), 2);
     let inputs: Vec<Vec<Point>> = pts.chunks(10).map(<[Point]>::to_vec).collect();
@@ -65,9 +67,8 @@ fn grid_with_more_processes_than_rows_still_partitions() {
     // 10 rows over 7 processes: some blocks get 1 row, others 2.
     let pg = ProcessGrid2::new(7, 1);
     let out = run_spmd(7, MachineModel::ibm_sp(), |ctx| {
-        let mut g = DistGrid2::from_global(ctx.rank(), pg, 10, 4, 1, -1.0, |i, j| {
-            (i * 4 + j) as f64
-        });
+        let mut g =
+            DistGrid2::from_global(ctx.rank(), pg, 10, 4, 1, -1.0, |i, j| (i * 4 + j) as f64);
         g.exchange_ghosts(ctx);
         g.gather_global(ctx)
     });

@@ -77,8 +77,18 @@ fn skyline_three_way_equivalence() {
         })
         .collect();
     let all: Vec<Building> = inputs.iter().flatten().copied().collect();
-    let seq = run_shared(&OneDeepSkyline, inputs.clone(), ExecutionMode::Sequential, None);
-    let par = run_shared(&OneDeepSkyline, inputs.clone(), ExecutionMode::Parallel, None);
+    let seq = run_shared(
+        &OneDeepSkyline,
+        inputs.clone(),
+        ExecutionMode::Sequential,
+        None,
+    );
+    let par = run_shared(
+        &OneDeepSkyline,
+        inputs.clone(),
+        ExecutionMode::Parallel,
+        None,
+    );
     let spmd = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
         dc_spmd(&OneDeepSkyline, ctx, inputs[ctx.rank()].clone())
     })
@@ -98,7 +108,12 @@ fn hull_and_closest_pair_equivalence() {
         .collect();
     let inputs: Vec<Vec<Point>> = pts.chunks(100).map(<[Point]>::to_vec).collect();
 
-    let hull_seq = run_shared(&OneDeepHull::new(), inputs.clone(), ExecutionMode::Sequential, None);
+    let hull_seq = run_shared(
+        &OneDeepHull::new(),
+        inputs.clone(),
+        ExecutionMode::Sequential,
+        None,
+    );
     let hull_spmd = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
         dc_spmd(&OneDeepHull::new(), ctx, inputs[ctx.rank()].clone())
     })

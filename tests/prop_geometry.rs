@@ -16,9 +16,8 @@ use parallel_archetypes::dc::{
 };
 
 fn arb_building() -> impl Strategy<Value = Building> {
-    (0i32..200, 1i32..50, 1i32..30).prop_map(|(l, h, w)| {
-        Building::new(l as f64, h as f64, (l + w) as f64)
-    })
+    (0i32..200, 1i32..50, 1i32..30)
+        .prop_map(|(l, h, w)| Building::new(l as f64, h as f64, (l + w) as f64))
 }
 
 fn arb_building_blocks() -> impl Strategy<Value = Vec<Vec<Building>>> {
@@ -35,8 +34,11 @@ fn brute_height(buildings: &[Building], x: f64) -> f64 {
 }
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    vec((0i32..1000, 0i32..1000), 2..max)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x as f64, y as f64)).collect())
+    vec((0i32..1000, 0i32..1000), 2..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point::new(x as f64, y as f64))
+            .collect()
+    })
 }
 
 proptest! {

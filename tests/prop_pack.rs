@@ -1,0 +1,197 @@
+//! Property tests for the ghost-exchange pack/unpack fast paths.
+//!
+//! `Block2::pack`/`unpack` and `Block3::pack_face`/`unpack_face` have
+//! contiguous `memcpy` and strided fast paths; these properties assert
+//! they are bit-identical to the scalar `at()`/`set()` definitions for
+//! all four 2-D edges and all six 3-D faces, at ghost widths 1 and 2,
+//! for both interior boundary layers and ghost layers.
+
+use proptest::prelude::*;
+
+use parallel_archetypes::mesh::block::{Block2, Block3};
+
+/// Fill every cell (ghosts included) with a value unique to its
+/// coordinates, so any misrouted copy shows up as a mismatch.
+fn filled_block2(nx: usize, ny: usize, g: usize) -> Block2<i64> {
+    let mut b = Block2::new(nx, ny, g, 0i64);
+    let gi = g as isize;
+    for i in -gi..nx as isize + gi {
+        for j in -gi..ny as isize + gi {
+            b.set(i, j, ((i + 100) * 1000 + (j + 100)) as i64);
+        }
+    }
+    b
+}
+
+fn filled_block3(nx: usize, ny: usize, nz: usize, g: usize) -> Block3<i64> {
+    let mut b = Block3::new(nx, ny, nz, g, 0i64);
+    let gi = g as isize;
+    for i in -gi..nx as isize + gi {
+        for j in -gi..ny as isize + gi {
+            for k in -gi..nz as isize + gi {
+                b.set(
+                    i,
+                    j,
+                    k,
+                    (((i + 10) * 100 + (j + 10)) * 100 + (k + 10)) as i64,
+                );
+            }
+        }
+    }
+    b
+}
+
+/// The scalar definition `pack` must match.
+fn scalar_pack2(
+    b: &Block2<i64>,
+    i0: isize,
+    j0: isize,
+    di: isize,
+    dj: isize,
+    len: usize,
+) -> Vec<i64> {
+    (0..len as isize)
+        .map(|k| b.at(i0 + k * di, j0 + k * dj))
+        .collect()
+}
+
+/// The scalar definition `pack_face` must match.
+fn scalar_pack_face(b: &Block3<i64>, axis: usize, plane: isize) -> Vec<i64> {
+    let (a, c) = match axis {
+        0 => (b.ny, b.nz),
+        1 => (b.nx, b.nz),
+        _ => (b.nx, b.ny),
+    };
+    let mut out = Vec::with_capacity(a * c);
+    for u in 0..a as isize {
+        for v in 0..c as isize {
+            let (i, j, k) = match axis {
+                0 => (plane, u, v),
+                1 => (u, plane, v),
+                _ => (u, v, plane),
+            };
+            out.push(b.at(i, j, k));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block2_edge_strips_match_scalar_path(
+        nx in 1usize..7,
+        ny in 1usize..7,
+        g in 1usize..3,
+    ) {
+        let b = filled_block2(nx, ny, g);
+        let gi = g as isize;
+        // All four edges, every boundary and ghost layer `l`.
+        for l in 0..gi {
+            // North interior rows + north ghost rows (row strips, dj = 1).
+            for i0 in [l, -1 - l, nx as isize - 1 - l, nx as isize + l] {
+                let fast = b.pack(i0, 0, 0, 1, ny);
+                prop_assert_eq!(&fast, &scalar_pack2(&b, i0, 0, 0, 1, ny), "row i0={}", i0);
+            }
+            // West/east columns (column strips, di = 1).
+            for j0 in [l, -1 - l, ny as isize - 1 - l, ny as isize + l] {
+                let fast = b.pack(0, j0, 1, 0, nx);
+                prop_assert_eq!(&fast, &scalar_pack2(&b, 0, j0, 1, 0, nx), "col j0={}", j0);
+            }
+        }
+        // A non-unit step exercises the general fallback path.
+        if nx >= 2 && ny >= 2 {
+            let len = nx.min(ny);
+            let fast = b.pack(0, 0, 1, 1, len);
+            prop_assert_eq!(&fast, &scalar_pack2(&b, 0, 0, 1, 1, len));
+        }
+    }
+
+    #[test]
+    fn block2_unpack_roundtrips_through_fast_paths(
+        nx in 1usize..7,
+        ny in 1usize..7,
+        g in 1usize..3,
+    ) {
+        let src = filled_block2(nx, ny, g);
+        let gi = g as isize;
+        for l in 0..gi {
+            // Row strip into a ghost row, column strip into a ghost column.
+            for (i0, j0, di, dj, len) in [
+                (-1 - l, 0, 0, 1, ny),
+                (nx as isize + l, 0, 0, 1, ny),
+                (0, -1 - l, 1, 0, nx),
+                (0, ny as isize + l, 1, 0, nx),
+            ] {
+                let strip = src.pack(i0, j0, di, dj, len);
+                let mut dst = Block2::new(nx, ny, g, -7i64);
+                dst.unpack(i0, j0, di, dj, &strip);
+                for k in 0..len as isize {
+                    prop_assert_eq!(
+                        dst.at(i0 + k * di, j0 + k * dj),
+                        src.at(i0 + k * di, j0 + k * dj),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block3_faces_match_scalar_path(
+        nx in 1usize..5,
+        ny in 1usize..5,
+        nz in 1usize..5,
+        g in 1usize..3,
+    ) {
+        let b = filled_block3(nx, ny, nz, g);
+        let dims = [nx as isize, ny as isize, nz as isize];
+        for (axis, &n) in dims.iter().enumerate() {
+            // Both boundary planes and both adjacent ghost planes of every
+            // axis — the six faces of the block, at ghost depths 1 and g.
+            let gi = g as isize;
+            for plane in [0, n - 1, -1, n, -gi, n + gi - 1] {
+                let fast = b.pack_face(axis, plane);
+                prop_assert_eq!(
+                    &fast,
+                    &scalar_pack_face(&b, axis, plane),
+                    "axis={} plane={}",
+                    axis,
+                    plane
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block3_unpack_face_roundtrips(
+        nx in 1usize..5,
+        ny in 1usize..5,
+        nz in 1usize..5,
+        g in 1usize..3,
+    ) {
+        let src = filled_block3(nx, ny, nz, g);
+        let dims = [nx as isize, ny as isize, nz as isize];
+        for (axis, &n) in dims.iter().enumerate() {
+            for plane in [0, n - 1, -1, n] {
+                let face = src.pack_face(axis, plane);
+                let mut dst = Block3::new(nx, ny, nz, g, -7i64);
+                dst.unpack_face(axis, plane, &face);
+                prop_assert_eq!(
+                    dst.pack_face(axis, plane),
+                    face,
+                    "axis={} plane={}",
+                    axis,
+                    plane
+                );
+                // And cells not on the face are untouched.
+                let other = if n > 1 { (plane + 1).rem_euclid(n) } else { plane };
+                if other != plane {
+                    for v in dst.pack_face(axis, other) {
+                        prop_assert_eq!(v, -7);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of proptest its test suites use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! [`Strategy::prop_map`], [`collection::vec`], and [`ProptestConfig`].
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! SplitMix64 stream seeded from the test name (so failures reproduce
+//! across runs), and there is **no shrinking** — a failing case panics
+//! with the sampled inputs unreduced. The API is source-compatible with
+//! the call sites in this workspace.
+
+/// Deterministic RNG driving input generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name, deterministically (FNV-1a).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> R,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F, R> Strategy for Map<S, F>
+where
+    F: Fn(S::Value) -> R,
+{
+    type Value = R;
+    fn sample(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `element`-generated values with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Per-suite configuration (subset: number of cases).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Assert a condition inside a property; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property; panics with both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each function runs `cases` times with inputs
+/// drawn from its strategies. No shrinking; failures panic with the
+/// case number so the deterministic stream can be replayed.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let run = || {
+                        $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                    };
+                    if let Err(p) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(p);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Everything test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..500 {
+            let v = Strategy::sample(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&v));
+            let u = Strategy::sample(&(3usize..4), &mut rng);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let s = (0i32..10, 0i32..10).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::for_test("compose");
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((0..19).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = crate::collection::vec(0u8..255, 2..7);
+        let mut rng = TestRng::for_test("lens");
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0i64..100, mut b in 0i64..100) {
+            b += 1;
+            prop_assert!(a < 100 && b <= 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset it uses: a deterministic seedable [`rngs::StdRng`] with
+//! [`Rng::gen_range`]. The generator is SplitMix64 — excellent statistical
+//! quality for benchmark workload generation, two lines of state. *Not*
+//! the real crate's ChaCha-based `StdRng`, so streams differ from upstream
+//! rand; all workspace users only require determinism per seed.
+
+/// Types that can be drawn uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draw a value in `[lo, hi)` from the 64 random bits `raw`.
+    fn from_raw(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_raw(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range needs a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo + ((raw as u128 % span) as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn from_raw(raw: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range needs a non-empty range");
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Random number generator interface (subset).
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (start inclusive, end exclusive).
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::from_raw(self.next_u64(), range.start, range.end)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+/// Construction of RNGs from seeds (subset).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e3779b97f4a7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(-50i64..100);
+            assert!((-50..100).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

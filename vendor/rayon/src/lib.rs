@@ -1,0 +1,304 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of rayon it uses: [`join`], [`scope`], and eager parallel
+//! iterators over ranges, vectors, and mutable chunks. Parallelism is real
+//! (scoped OS threads) but throttled by a global active-thread budget so
+//! that deeply recursive `join` trees do not spawn unbounded threads; when
+//! the budget is exhausted, work runs inline on the calling thread — the
+//! same degradation rayon's work stealing provides, minus the stealing.
+//!
+//! The API is source-compatible with the call sites in this workspace so
+//! the real crate can be dropped in whenever a registry is available.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ACTIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn thread_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .saturating_mul(2)
+}
+
+/// Try to reserve one extra worker thread from the global budget.
+fn try_reserve() -> bool {
+    let mut cur = ACTIVE_THREADS.load(Ordering::Relaxed);
+    loop {
+        if cur >= thread_budget() {
+            return false;
+        }
+        match ACTIVE_THREADS.compare_exchange_weak(
+            cur,
+            cur + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+fn release() {
+    ACTIVE_THREADS.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if try_reserve() {
+        std::thread::scope(|s| {
+            let hb = s.spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(b));
+                release();
+                r
+            });
+            let ra = a();
+            match hb.join().expect("scoped thread never aborts") {
+                Ok(rb) => (ra, rb),
+                Err(p) => resume_unwind(p),
+            }
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// A fork-join scope handed to the [`scope`] callback; [`Scope::spawn`]ed
+/// tasks all complete before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `f` into the scope (inline when the thread budget is spent).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        if try_reserve() {
+            inner.spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| f(&Scope { inner })));
+                release();
+                if let Err(p) = r {
+                    resume_unwind(p);
+                }
+            });
+        } else {
+            f(&Scope { inner });
+        }
+    }
+}
+
+/// Create a fork-join scope; returns once every spawned task has finished.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Split `items` into at most `thread_budget()` contiguous chunks and map
+/// each chunk on its own scoped thread; chunk results come back in order,
+/// so flattening preserves index order.
+fn parallel_chunks<T, R, F>(items: Vec<T>, f: F) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread_budget().min(n).max(1);
+    let chunk = n.div_ceil(threads);
+    let mut chunked: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunked.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunked.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
+            .collect()
+    })
+}
+
+/// An eager "parallel iterator": adapters apply immediately across threads
+/// and the results are collected in index order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index, preserving order.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        parallel_chunks(self.items, |chunk| {
+            chunk.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Map every item across threads, keeping index order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let per_chunk = parallel_chunks(self.items, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        });
+        ParIter {
+            items: per_chunk.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Reduce with `op`, seeding each thread-local fold with `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Collect the (already computed) items in index order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into an eager parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+
+    #[test]
+    fn nested_joins_do_not_exhaust_threads() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..257).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 257);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut data = [0u8; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u8 + 1;
+            }
+        });
+        assert!(data
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == (i / 10) as u8 + 1));
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let s = (0..100usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 4950);
+    }
+}
