@@ -1,0 +1,87 @@
+//! Wall-clock benches of the task-farm archetype: skeleton overhead on
+//! a trivial farm, and the two irregular applications at a bench-sized
+//! configuration. Virtual-time *scaling* is tracked separately by the
+//! `farm_scaling` binary (`BENCH_farm.json`); these measure the host
+//! cost of running the skeleton itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archetype_bnb::{solve_farm, Knapsack};
+use archetype_farm::apps::{MandelbrotFarm, SweepFarm};
+use archetype_farm::{run_farm, Farm, FarmConfig, WorkScope};
+use archetype_mp::{run_spmd, MachineModel};
+
+/// A farm of trivial tasks: measures pure skeleton overhead (queueing,
+/// steal exchanges, waves) rather than application work.
+struct Trivial(u64);
+impl Farm for Trivial {
+    type Task = u64;
+    type Out = u64;
+    type Hint = ();
+    fn seed(&self) -> Vec<u64> {
+        (0..self.0).collect()
+    }
+    fn work(&self, task: u64, scope: &mut WorkScope<'_, Self>) {
+        scope.emit(task);
+    }
+    fn out_identity(&self) -> u64 {
+        0
+    }
+    fn reduce(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+fn bench_skeleton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("farm_skeleton");
+    g.sample_size(20);
+    let model = MachineModel::zero_comm();
+    g.bench_function("trivial_1k_tasks_8_ranks", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                run_farm(&Trivial(1000), ctx, FarmConfig::default()).0
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("farm_apps");
+    g.sample_size(10);
+    let model = MachineModel::ibm_sp();
+    g.bench_function("mandelbrot_128x96_8_ranks", |b| {
+        b.iter(|| {
+            let farm = MandelbrotFarm::seahorse(128, 96, 16, 500);
+            run_spmd(8, model, move |ctx| {
+                run_farm(&farm, ctx, FarmConfig::default()).0
+            })
+        })
+    });
+    g.bench_function("sweep_d6_8_ranks", |b| {
+        b.iter(|| {
+            let farm = SweepFarm {
+                lo: 0.0,
+                hi: 3.0,
+                seeds: 24,
+                max_depth: 6,
+            };
+            run_spmd(8, model, move |ctx| {
+                run_farm(&farm, ctx, FarmConfig::default()).0
+            })
+        })
+    });
+    g.bench_function("knapsack_16_items_8_ranks", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                let items: Vec<(u64, u64)> =
+                    (0..16).map(|i| (i % 7 + 3, (i * 13) % 29 + 1)).collect();
+                solve_farm(&Knapsack::new(&items, 60), ctx, FarmConfig::default()).0
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_skeleton, bench_apps);
+criterion_main!(benches);

@@ -21,10 +21,17 @@
 //!   every rank expands a batch from its local frontier, and a
 //!   recursive-doubling all-reduce both shares the incumbent bound and
 //!   decides global termination (the archetype's communication pattern:
-//!   reduction doubles as termination detection).
+//!   reduction doubles as termination detection);
+//! - [`solve_farm`]: the same distributed search expressed as an
+//!   instance of the general task-farm archetype (`archetype-farm`) —
+//!   the priority queue, incumbent sharing, work distribution, and
+//!   termination detection all come from the skeleton instead of being
+//!   hand-rolled here. This is the preferred distributed driver.
 
+pub mod farm;
 pub mod knapsack;
 pub mod skeleton;
 
+pub use farm::{solve_farm, BnbFarm, BoundedNode};
 pub use knapsack::{knapsack_dp, Knapsack};
 pub use skeleton::{solve_sequential, solve_shared, solve_spmd, BnbStats, BranchAndBound};

@@ -31,6 +31,17 @@ pub enum PhaseKind {
     /// Communication inserted by the archetype: redistribution,
     /// boundary exchange, broadcast of globals.
     Communication,
+    /// Task-farm: generate the initial task pool and deal it to workers.
+    Seed,
+    /// Task-farm: workers drain batches of tasks from their local queues
+    /// (possibly spawning new tasks).
+    Work,
+    /// Task-farm: load balancing — a steal-request/steal-reply exchange
+    /// that moves surplus tasks between ranks.
+    Steal,
+    /// Task-farm: distributed termination detection (the wave that proves
+    /// global quiescence) and the final reduction.
+    Terminate,
 }
 
 impl std::fmt::Display for PhaseKind {
@@ -45,6 +56,10 @@ impl std::fmt::Display for PhaseKind {
             PhaseKind::Reduction => "reduction",
             PhaseKind::Io => "io",
             PhaseKind::Communication => "communication",
+            PhaseKind::Seed => "seed",
+            PhaseKind::Work => "work",
+            PhaseKind::Steal => "steal",
+            PhaseKind::Terminate => "terminate",
         };
         f.write_str(s)
     }
@@ -111,6 +126,29 @@ pub const MESH_SPECTRAL: ArchetypeInfo = ArchetypeInfo {
     ],
 };
 
+/// The task-farm (master–worker) archetype: an irregular pool of
+/// independent tasks — possibly spawning further tasks — drained by
+/// workers in batches, rebalanced by work stealing, and terminated by a
+/// distributed quiescence wave. The paper's future-work list (§7) asks
+/// for archetypes beyond the two deterministic ones; the farm covers the
+/// irregular-workload family (branch-and-bound search, fractal tiles,
+/// parameter sweeps).
+pub const TASK_FARM: ArchetypeInfo = ArchetypeInfo {
+    name: "task-farm",
+    phases: &[
+        PhaseKind::Seed,
+        PhaseKind::Work,
+        PhaseKind::Steal,
+        PhaseKind::Terminate,
+    ],
+    communication: &[
+        "steal-request / steal-reply exchange (pairwise, hypercube schedule)",
+        "steering-hint ring wave (incumbent sharing)",
+        "termination-detection wave (global quiescence proof)",
+        "final reduction of per-worker partial results",
+    ],
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +161,10 @@ mod tests {
         assert!(MESH_SPECTRAL.phases.contains(&PhaseKind::GridOp));
         assert!(!MESH_SPECTRAL.phases.contains(&PhaseKind::Split));
         assert!(!ONE_DEEP_DC.communication.is_empty());
+        assert!(TASK_FARM.phases.contains(&PhaseKind::Seed));
+        assert!(TASK_FARM.phases.contains(&PhaseKind::Steal));
+        assert!(!TASK_FARM.phases.contains(&PhaseKind::Merge));
+        assert!(TASK_FARM.communication.iter().any(|c| c.contains("steal")));
     }
 
     #[test]
@@ -130,6 +172,8 @@ mod tests {
         assert_eq!(PhaseKind::Split.to_string(), "split");
         assert_eq!(PhaseKind::GridOp.to_string(), "grid-op");
         assert_eq!(PhaseKind::Communication.to_string(), "communication");
+        assert_eq!(PhaseKind::Seed.to_string(), "seed");
+        assert_eq!(PhaseKind::Terminate.to_string(), "terminate");
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! assert_eq!(seq, par); // the archetype's semantics-preservation property
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod archetype;
 pub mod mode;
 pub mod ops;

@@ -1,0 +1,260 @@
+//! Mandelbrot tile farm: the canonical irregular workload.
+//!
+//! The image is cut into square pixel tiles, one task each. A tile deep
+//! inside the set costs `max_iter` iterations per pixel; a tile far
+//! outside costs a handful — several orders of magnitude of cost
+//! variation that a static round-robin deal cannot balance, which is
+//! exactly what the farm's work stealing is for.
+//!
+//! The output is an order-independent summary (iteration totals, inside
+//! count, and a position-keyed checksum) so the reduction is commutative
+//! and the result is bit-identical for every process count.
+
+use crate::skeleton::{Farm, WorkScope};
+use archetype_mp::impl_fixed_size;
+
+/// Modeled flop-equivalents per escape-time iteration (one complex
+/// multiply-add plus the escape test).
+const FLOPS_PER_ITER: f64 = 10.0;
+
+/// One tile task: tile coordinates in units of [`MandelbrotFarm::tile`]
+/// pixels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Tile column index.
+    pub tx: u32,
+    /// Tile row index.
+    pub ty: u32,
+}
+
+impl_fixed_size!(Tile);
+
+/// Aggregated escape-time results over a set of tiles.
+///
+/// `checksum` folds every pixel's `(x, y, iterations)` triple through a
+/// position-keyed FNV-style hash combined with wrapping addition, so it
+/// is independent of the order tiles were processed in (commutative
+/// reduction) yet pins every individual pixel value — two runs agree on
+/// `checksum` iff they computed the identical image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MandelOut {
+    /// Tiles rendered.
+    pub tiles: u64,
+    /// Total escape-time iterations across all pixels.
+    pub iters: u64,
+    /// Pixels that never escaped (reached `max_iter`).
+    pub inside: u64,
+    /// Order-independent per-pixel checksum.
+    pub checksum: u64,
+}
+
+impl_fixed_size!(MandelOut);
+
+/// A Mandelbrot rendering job: region, resolution, tiling, and iteration
+/// budget.
+#[derive(Clone, Debug)]
+pub struct MandelbrotFarm {
+    /// Real axis minimum.
+    pub re0: f64,
+    /// Imaginary axis minimum.
+    pub im0: f64,
+    /// Real axis maximum.
+    pub re1: f64,
+    /// Imaginary axis maximum.
+    pub im1: f64,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Tile edge in pixels.
+    pub tile: u32,
+    /// Escape-time iteration budget per pixel.
+    pub max_iter: u32,
+}
+
+impl MandelbrotFarm {
+    /// The classic full-set view at the given resolution and tiling.
+    pub fn classic(width: u32, height: u32, tile: u32, max_iter: u32) -> Self {
+        MandelbrotFarm {
+            re0: -2.2,
+            im0: -1.2,
+            re1: 0.8,
+            im1: 1.2,
+            width,
+            height,
+            tile,
+            max_iter,
+        }
+    }
+
+    /// A seahorse-valley close-up: a region straddling the set boundary,
+    /// where per-tile cost is maximally irregular.
+    pub fn seahorse(width: u32, height: u32, tile: u32, max_iter: u32) -> Self {
+        MandelbrotFarm {
+            re0: -0.78,
+            im0: 0.09,
+            re1: -0.72,
+            im1: 0.15,
+            width,
+            height,
+            tile,
+            max_iter,
+        }
+    }
+
+    fn tiles_x(&self) -> u32 {
+        self.width.div_ceil(self.tile)
+    }
+
+    fn tiles_y(&self) -> u32 {
+        self.height.div_ceil(self.tile)
+    }
+
+    /// Escape-time iteration count at pixel `(px, py)`.
+    fn escape(&self, px: u32, py: u32) -> u32 {
+        let cr = self.re0 + (self.re1 - self.re0) * (px as f64 + 0.5) / self.width as f64;
+        let ci = self.im0 + (self.im1 - self.im0) * (py as f64 + 0.5) / self.height as f64;
+        let (mut zr, mut zi) = (0.0f64, 0.0f64);
+        let mut n = 0;
+        while n < self.max_iter && zr * zr + zi * zi <= 4.0 {
+            let nzr = zr * zr - zi * zi + cr;
+            zi = 2.0 * zr * zi + ci;
+            zr = nzr;
+            n += 1;
+        }
+        n
+    }
+}
+
+fn pixel_hash(px: u32, py: u32, n: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in [px as u64, py as u64, n as u64] {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Farm for MandelbrotFarm {
+    type Task = Tile;
+    type Out = MandelOut;
+    type Hint = ();
+
+    fn seed(&self) -> Vec<Tile> {
+        let mut tiles = Vec::with_capacity((self.tiles_x() * self.tiles_y()) as usize);
+        for ty in 0..self.tiles_y() {
+            for tx in 0..self.tiles_x() {
+                tiles.push(Tile { tx, ty });
+            }
+        }
+        tiles
+    }
+
+    fn work(&self, tile: Tile, scope: &mut WorkScope<'_, Self>) {
+        let x0 = tile.tx * self.tile;
+        let y0 = tile.ty * self.tile;
+        let x1 = (x0 + self.tile).min(self.width);
+        let y1 = (y0 + self.tile).min(self.height);
+        let mut out = MandelOut {
+            tiles: 1,
+            ..MandelOut::default()
+        };
+        for py in y0..y1 {
+            for px in x0..x1 {
+                let n = self.escape(px, py);
+                out.iters += n as u64;
+                out.inside += u64::from(n == self.max_iter);
+                out.checksum = out.checksum.wrapping_add(pixel_hash(px, py, n));
+            }
+        }
+        // Charge the *actual* data-dependent cost — this irregularity is
+        // what the farm's stealing and adaptive batching respond to.
+        scope.charge_flops(out.iters as f64 * FLOPS_PER_ITER);
+        scope.emit(out);
+    }
+
+    fn out_identity(&self) -> MandelOut {
+        MandelOut::default()
+    }
+
+    fn reduce(&self, a: MandelOut, b: MandelOut) -> MandelOut {
+        MandelOut {
+            tiles: a.tiles + b.tiles,
+            iters: a.iters + b.iters,
+            inside: a.inside + b.inside,
+            checksum: a.checksum.wrapping_add(b.checksum),
+        }
+    }
+
+    fn task_flops(&self, _tile: &Tile) -> f64 {
+        0.0 // fully data-dependent; `work` charges the measured count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{run_farm, FarmConfig};
+    use archetype_mp::{run_spmd, MachineModel};
+
+    fn sequential_out(farm: &MandelbrotFarm) -> MandelOut {
+        let mut acc = farm.out_identity();
+        for py in 0..farm.height {
+            for px in 0..farm.width {
+                let n = farm.escape(px, py);
+                acc.iters += n as u64;
+                acc.inside += u64::from(n == farm.max_iter);
+                acc.checksum = acc.checksum.wrapping_add(pixel_hash(px, py, n));
+            }
+        }
+        acc.tiles = (farm.tiles_x() * farm.tiles_y()) as u64;
+        acc
+    }
+
+    #[test]
+    fn farm_matches_sequential_render_for_many_process_counts() {
+        let farm = MandelbrotFarm::classic(64, 48, 8, 200);
+        let expected = sequential_out(&farm);
+        for p in [1usize, 2, 5, 8] {
+            let f = farm.clone();
+            let out = run_spmd(p, MachineModel::ibm_sp(), move |ctx| {
+                run_farm(&f, ctx, FarmConfig::default()).0
+            });
+            assert!(
+                out.results.iter().all(|o| *o == expected),
+                "p={p}: {:?} != {expected:?}",
+                out.results[0]
+            );
+        }
+    }
+
+    #[test]
+    fn interior_region_pixels_never_escape() {
+        // A region strictly inside the main cardioid.
+        let farm = MandelbrotFarm {
+            re0: -0.2,
+            im0: -0.1,
+            re1: 0.0,
+            im1: 0.1,
+            width: 16,
+            height: 16,
+            tile: 4,
+            max_iter: 64,
+        };
+        let out = sequential_out(&farm);
+        assert_eq!(out.inside, 16 * 16);
+        assert_eq!(out.iters, 16 * 16 * 64);
+    }
+
+    #[test]
+    fn ragged_tiling_covers_every_pixel_exactly_once() {
+        // 30x22 image with 8-pixel tiles: ragged right and bottom edges.
+        let farm = MandelbrotFarm::classic(30, 22, 8, 50);
+        let expected = sequential_out(&farm);
+        let f = farm.clone();
+        let out = run_spmd(3, MachineModel::ibm_sp(), move |ctx| {
+            run_farm(&f, ctx, FarmConfig::default()).0
+        });
+        assert_eq!(out.results[0], expected);
+    }
+}

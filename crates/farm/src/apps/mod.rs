@@ -1,0 +1,13 @@
+//! Applications of the task-farm archetype.
+//!
+//! Two deliberately irregular workloads exercise the skeleton's load
+//! balancing: [`mandelbrot`] (escape-time tiles whose cost varies by
+//! orders of magnitude across the complex plane) and [`sweep`] (a
+//! hint-directed adaptive parameter sweep whose evaluation cost depends
+//! chaotically on the parameter).
+
+pub mod mandelbrot;
+pub mod sweep;
+
+pub use mandelbrot::{MandelOut, MandelbrotFarm, Tile};
+pub use sweep::{SweepFarm, SweepOut, SweepTask};

@@ -1,0 +1,288 @@
+//! Hint-directed adaptive parameter sweep: embarrassingly irregular.
+//!
+//! The farm maximizes a multimodal objective over an interval by
+//! recursive bisection: a task evaluates its interval's midpoint and —
+//! down to a depth budget — spawns its two halves, each carrying an
+//! admissible Lipschitz upper bound (`parent score + L·half-width`).
+//! The steering hint is the best score found anywhere, so the skeleton's
+//! `keep` test prunes subtrees whose bound can no longer win, exactly
+//! like a branch-and-bound incumbent.
+//!
+//! Two kinds of irregularity stress the skeleton at once: the *cost* of
+//! one evaluation varies by ~300× across the parameter (a geometric
+//! series whose ratio depends on the parameter must be summed to
+//! convergence), and the *shape* of the task tree depends on where the
+//! maxima happen to be. Because the bound is admissible, the final best
+//! score is identical for every process count, even though the set of
+//! evaluated points is not.
+
+use crate::skeleton::{Farm, WorkScope};
+use archetype_mp::impl_fixed_size;
+
+/// Lipschitz constant of [`SweepFarm::objective`] (safe overestimate of
+/// `5 + 0.6·17 + 0.3·31 = 24.5`).
+const LIPSCHITZ: f64 = 25.0;
+
+/// Modeled flop-equivalents per series term of one evaluation.
+const FLOPS_PER_TERM: f64 = 20.0;
+
+/// One sweep task: an interval, its bisection depth, and an admissible
+/// upper bound on the objective at any midpoint evaluated inside it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepTask {
+    /// Interval lower end.
+    pub lo: f64,
+    /// Interval upper end.
+    pub hi: f64,
+    /// Bisection depth (0 for seed intervals).
+    pub depth: u32,
+    /// Admissible upper bound on the objective within the interval.
+    pub bound: f64,
+}
+
+impl_fixed_size!(SweepTask);
+
+/// The running maximum and work counters of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepOut {
+    /// Best objective value found.
+    pub best_score: f64,
+    /// Parameter achieving `best_score` (smallest such, on ties).
+    pub best_x: f64,
+    /// Midpoint evaluations performed.
+    pub evals: u64,
+    /// Total series terms summed (the irregular cost).
+    pub terms: u64,
+}
+
+impl_fixed_size!(SweepOut);
+
+impl Default for SweepOut {
+    fn default() -> Self {
+        SweepOut {
+            best_score: f64::NEG_INFINITY,
+            best_x: f64::NAN,
+            evals: 0,
+            terms: 0,
+        }
+    }
+}
+
+/// An adaptive sweep job over `[lo, hi]` with `seeds` initial intervals
+/// refined down to `max_depth` bisections.
+#[derive(Clone, Debug)]
+pub struct SweepFarm {
+    /// Domain lower end.
+    pub lo: f64,
+    /// Domain upper end.
+    pub hi: f64,
+    /// Number of equal seed intervals.
+    pub seeds: u32,
+    /// Bisection depth budget below the seed intervals.
+    pub max_depth: u32,
+}
+
+impl SweepFarm {
+    /// The multimodal objective being maximized.
+    pub fn objective(x: f64) -> f64 {
+        (5.0 * x).sin() + 0.6 * (17.0 * x + 1.0).sin() + 0.3 * (31.0 * x).sin()
+    }
+
+    /// Number of series terms an evaluation at `x` must sum: the ratio
+    /// `q(x) = 0.3 + 0.69·|sin(13x)|` approaches 1 near the resonances,
+    /// where convergence — and therefore the task — becomes ~300× more
+    /// expensive than in the fast-converging regions.
+    pub fn eval_terms(x: f64) -> u64 {
+        let q = 0.3 + 0.69 * (13.0 * x).sin().abs();
+        let mut term = 1.0f64;
+        let mut k = 0u64;
+        while term > 1e-9 {
+            term *= q;
+            k += 1;
+        }
+        k
+    }
+}
+
+impl Farm for SweepFarm {
+    type Task = SweepTask;
+    type Out = SweepOut;
+    type Hint = f64; // best score found anywhere
+
+    fn seed(&self) -> Vec<SweepTask> {
+        let w = (self.hi - self.lo) / self.seeds as f64;
+        (0..self.seeds)
+            .map(|i| SweepTask {
+                lo: self.lo + i as f64 * w,
+                hi: self.lo + (i + 1) as f64 * w,
+                depth: 0,
+                bound: f64::INFINITY,
+            })
+            .collect()
+    }
+
+    fn work(&self, task: SweepTask, scope: &mut WorkScope<'_, Self>) {
+        let mid = 0.5 * (task.lo + task.hi);
+        let half = 0.5 * (task.hi - task.lo);
+        let terms = Self::eval_terms(mid);
+        scope.charge_flops(terms as f64 * FLOPS_PER_TERM);
+        let score = Self::objective(mid);
+        scope.emit(SweepOut {
+            best_score: score,
+            best_x: mid,
+            evals: 1,
+            terms,
+        });
+        if task.depth < self.max_depth {
+            // Admissible bound for any midpoint inside either half:
+            // |x - mid| <= half, so f(x) <= score + L*half.
+            let child_bound = score + LIPSCHITZ * half;
+            let incumbent = scope.hint().max(scope.acc().best_score);
+            if child_bound > incumbent {
+                for (lo, hi) in [(task.lo, mid), (mid, task.hi)] {
+                    scope.spawn(SweepTask {
+                        lo,
+                        hi,
+                        depth: task.depth + 1,
+                        bound: child_bound,
+                    });
+                }
+            }
+        }
+    }
+
+    fn out_identity(&self) -> SweepOut {
+        SweepOut::default()
+    }
+
+    fn reduce(&self, a: SweepOut, b: SweepOut) -> SweepOut {
+        let (best_score, best_x) = if a.best_score > b.best_score
+            || (a.best_score == b.best_score && a.best_x <= b.best_x)
+        {
+            (a.best_score, a.best_x)
+        } else {
+            (b.best_score, b.best_x)
+        };
+        SweepOut {
+            best_score,
+            best_x,
+            evals: a.evals + b.evals,
+            terms: a.terms + b.terms,
+        }
+    }
+
+    fn priority(&self, task: &SweepTask) -> f64 {
+        task.bound // most promising intervals first
+    }
+
+    fn task_flops(&self, _task: &SweepTask) -> f64 {
+        0.0 // fully data-dependent; charged in `work`
+    }
+
+    fn local_hint(&self, acc: &SweepOut) -> f64 {
+        acc.best_score
+    }
+
+    fn merge_hint(&self, a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+
+    fn keep(&self, task: &SweepTask, hint: &f64) -> bool {
+        task.bound > *hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{run_farm, FarmConfig};
+    use archetype_mp::{run_spmd, MachineModel};
+
+    fn sweep() -> SweepFarm {
+        SweepFarm {
+            lo: 0.0,
+            hi: 3.0,
+            seeds: 24,
+            max_depth: 6,
+        }
+    }
+
+    /// Oracle: evaluate the *complete* bisection-midpoint set (no
+    /// pruning). The admissible bound guarantees the farm finds this
+    /// maximum no matter how many subtrees it prunes.
+    fn exhaustive_best(farm: &SweepFarm) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut stack: Vec<(f64, f64, u32)> = farm
+            .seed()
+            .into_iter()
+            .map(|t| (t.lo, t.hi, t.depth))
+            .collect();
+        while let Some((lo, hi, depth)) = stack.pop() {
+            let mid = 0.5 * (lo + hi);
+            best = best.max(SweepFarm::objective(mid));
+            if depth < farm.max_depth {
+                stack.push((lo, mid, depth + 1));
+                stack.push((mid, hi, depth + 1));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn best_score_is_identical_for_every_process_count() {
+        let farm = sweep();
+        let expected = exhaustive_best(&farm);
+        for p in [1usize, 2, 4, 8] {
+            let f = farm.clone();
+            let out = run_spmd(p, MachineModel::ibm_sp(), move |ctx| {
+                run_farm(&f, ctx, FarmConfig::default()).0
+            });
+            for o in &out.results {
+                assert_eq!(o.best_score, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_most_of_the_tree() {
+        let farm = sweep();
+        let full: u64 = farm.seeds as u64 * ((1 << (farm.max_depth + 1)) - 1);
+        let f = farm.clone();
+        let out = run_spmd(4, MachineModel::ibm_sp(), move |ctx| {
+            run_farm(&f, ctx, FarmConfig::default()).0
+        });
+        let evals = out.results[0].evals;
+        assert!(
+            evals < full / 2,
+            "hint pruning should skip most of the {full}-node tree, evaluated {evals}"
+        );
+    }
+
+    #[test]
+    fn evaluation_cost_is_genuinely_irregular() {
+        let costs: Vec<u64> = (0..200)
+            .map(|i| SweepFarm::eval_terms(3.0 * i as f64 / 200.0))
+            .collect();
+        let min = *costs.iter().min().unwrap();
+        let max = *costs.iter().max().unwrap();
+        assert!(
+            max > 20 * min,
+            "cost spread should exceed 20x (got {min}..{max})"
+        );
+    }
+
+    #[test]
+    fn repeated_runs_agree_exactly() {
+        let run = || {
+            let f = sweep();
+            run_spmd(5, MachineModel::intel_delta(), move |ctx| {
+                let (out, stats) = run_farm(&f, ctx, FarmConfig::default());
+                (out.best_score, out.best_x, out.evals, stats)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.rank_times, b.rank_times);
+    }
+}

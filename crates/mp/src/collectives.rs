@@ -237,6 +237,16 @@ impl Ctx {
     ///
     /// Handles non-power-of-two `n` with the standard pre/post folding of
     /// the `n − 2^⌊log₂ n⌋` extra ranks.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, MachineModel};
+    ///
+    /// // Every rank learns the maximum rank number.
+    /// let out = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+    ///     ctx.all_reduce(ctx.rank() as u64, u64::max)
+    /// });
+    /// assert_eq!(out.results, vec![4, 4, 4, 4, 4]);
+    /// ```
     pub fn all_reduce<T, F>(&mut self, value: T, op: F) -> T
     where
         T: Payload + Clone,

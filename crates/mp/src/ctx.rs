@@ -100,6 +100,17 @@ impl Ctx {
 
     /// Charge `flops` flop-equivalents of computation, scaled by the
     /// memory-pressure model for the declared working set.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, MachineModel};
+    ///
+    /// // 1e8 flops on a 100 Mflop/s machine is one virtual second.
+    /// let out = run_spmd(1, MachineModel::ibm_sp(), |ctx| {
+    ///     ctx.charge_flops(1.0e8);
+    ///     ctx.now()
+    /// });
+    /// assert!((out.results[0] - 1.0).abs() < 1e-12);
+    /// ```
     pub fn charge_flops(&mut self, flops: f64) {
         let slow = self.model.memory.slowdown(self.working_set_bytes);
         self.charge_seconds(self.model.compute_time(flops) * slow);
@@ -154,6 +165,21 @@ impl Ctx {
     /// Send `value` to rank `to` with tag `tag`. Non-blocking (buffered),
     /// like an eager-protocol MPI send; costs this rank `send_overhead`
     /// of virtual time and stamps the packet's arrival time.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, MachineModel};
+    ///
+    /// // Rank 0 sends a vector; rank 1 returns its sum.
+    /// let out = run_spmd(2, MachineModel::ibm_sp(), |ctx| {
+    ///     if ctx.rank() == 0 {
+    ///         ctx.send(1, 7, vec![1i64, 2, 3]);
+    ///         0
+    ///     } else {
+    ///         ctx.recv::<Vec<i64>>(0, 7).iter().sum()
+    ///     }
+    /// });
+    /// assert_eq!(out.results[1], 6);
+    /// ```
     pub fn send<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
         let bytes = value.size_bytes();
         self.send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value)));

@@ -235,6 +235,28 @@ impl Group {
         acc
     }
 
+    /// All-gather within the group: every member returns the
+    /// contributions of all members, indexed by group rank. Implemented
+    /// as a gather to group index 0 followed by a binomial broadcast.
+    /// Elements must be [`FixedSize`](crate::FixedSize) so the gathered
+    /// vector is itself a payload.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, Group, MachineModel};
+    ///
+    /// let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+    ///     let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+    ///     let mut g = Group::split(ctx, &colors);
+    ///     g.all_gather(ctx, ctx.rank() as u64)
+    /// });
+    /// assert_eq!(out.results[0], vec![0, 2]); // even group, in group order
+    /// assert_eq!(out.results[3], vec![1, 3]); // odd group
+    /// ```
+    pub fn all_gather<T: crate::FixedSize>(&mut self, ctx: &mut Ctx, value: T) -> Vec<T> {
+        let gathered = self.gather(ctx, 0, value);
+        self.broadcast(ctx, 0, gathered)
+    }
+
     /// Linear gather to group index `root`.
     pub fn gather<T: Payload>(&mut self, ctx: &mut Ctx, root: usize, value: T) -> Option<Vec<T>> {
         let n = self.len();
@@ -334,6 +356,90 @@ mod tests {
             g.all_reduce(ctx, ctx.rank() as i64 * 10, |a, b| a + b)
         });
         assert_eq!(out.results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn singleton_group_broadcast_gather_and_all_gather() {
+        // Every degenerate single-member collective must complete without
+        // communicating and return the member's own contribution.
+        let out = run_spmd(3, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..3).collect(); // everyone alone
+            let mut g = Group::split(ctx, &colors);
+            let b = g.broadcast(ctx, 0, Some(ctx.rank() as u64 * 7));
+            let gathered = g.gather(ctx, 0, ctx.rank() as u64).expect("root of self");
+            let all = g.all_gather(ctx, ctx.rank() as u64);
+            (b, gathered, all)
+        });
+        for (r, (b, gathered, all)) in out.results.iter().enumerate() {
+            assert_eq!(*b, r as u64 * 7);
+            assert_eq!(gathered, &vec![r as u64]);
+            assert_eq!(all, &vec![r as u64]);
+        }
+        // No messages may have crossed ranks for singleton collectives.
+        assert_eq!(out.stats.total_msgs(), 0);
+    }
+
+    #[test]
+    fn empty_payload_broadcast_round_trips() {
+        // A zero-byte payload must traverse the broadcast tree intact:
+        // the cost model sees 0 bytes, the matching still works.
+        let out = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+            let colors = vec![0usize; ctx.nprocs()];
+            let mut g = Group::split(ctx, &colors);
+            let v: Vec<u64> = g.broadcast(ctx, 2, (g.rank() == 2).then(Vec::new));
+            let unit: () = g.broadcast(ctx, 0, (g.rank() == 0).then_some(()));
+            (v, unit)
+        });
+        for (v, ()) in &out.results {
+            assert!(v.is_empty());
+        }
+        // Empty payloads still pay per-message latency, never per-byte.
+        assert!(out.elapsed_virtual >= MachineModel::ibm_sp().latency);
+    }
+
+    #[test]
+    fn empty_payload_all_gather_preserves_shapes() {
+        // Mixed empty/non-empty contributions: slots must line up with
+        // group ranks and empties must stay empty.
+        let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+            let colors = vec![0usize; ctx.nprocs()];
+            let mut g = Group::split(ctx, &colors);
+            let gathered = g.gather(
+                ctx,
+                0,
+                if g.rank().is_multiple_of(2) {
+                    Vec::new()
+                } else {
+                    vec![g.rank() as u64; g.rank()]
+                },
+            );
+            let all = g.all_gather(ctx, g.rank() as u64);
+            (gathered, all)
+        });
+        let gathered = out.results[0].0.as_ref().expect("group root");
+        assert_eq!(gathered.len(), 4);
+        assert!(gathered[0].is_empty() && gathered[2].is_empty());
+        assert_eq!(gathered[1], vec![1]);
+        assert_eq!(gathered[3], vec![3, 3, 3]);
+        for (_, all) in &out.results {
+            assert_eq!(all, &vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn world_empty_payload_broadcast_and_all_gather() {
+        // The same degenerate cases against the world-level collectives
+        // in `collectives.rs`, which take the shared-payload fast path.
+        let out = run_spmd(6, MachineModel::ibm_sp(), |ctx| {
+            let v: Vec<f64> = ctx.broadcast(1, (ctx.rank() == 1).then(Vec::new));
+            let all = ctx.all_gather(Vec::<u8>::new());
+            (v, all)
+        });
+        for (v, all) in &out.results {
+            assert!(v.is_empty());
+            assert_eq!(all.len(), 6);
+            assert!(all.iter().all(Vec::is_empty));
+        }
     }
 
     #[test]

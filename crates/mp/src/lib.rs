@@ -52,6 +52,8 @@
 //! assert!(out.elapsed_virtual > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod collectives;
 pub mod costmeter;
 pub mod ctx;
@@ -63,6 +65,7 @@ pub mod payload;
 pub mod pool;
 pub mod runner;
 pub mod stats;
+pub mod tags;
 pub mod topology;
 
 pub use costmeter::CostMeter;
@@ -72,4 +75,5 @@ pub use model::{MachineModel, MemoryModel};
 pub use payload::{FixedSize, Payload, Shared};
 pub use runner::{run_spmd, run_spmd_quiet, run_spmd_unpooled, SpmdResult};
 pub use stats::{RankStats, RunStats};
+pub use tags::{farm_tag, FarmTag};
 pub use topology::{ProcessGrid2, ProcessGrid3};

@@ -119,6 +119,18 @@ impl<T: FixedSize> Payload for Vec<Vec<T>> {
 /// The virtual-time cost model is unaffected: every send of a `Shared`
 /// still charges the full wire size of the payload, exactly as the
 /// simulated network would. Only *host* copy work is elided.
+///
+/// ```
+/// use archetype_mp::{run_spmd, MachineModel, Shared};
+///
+/// // A large buffer broadcast as a handle: no per-hop deep copies.
+/// let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+///     let v = (ctx.rank() == 0).then(|| Shared::new(vec![9u8; 1 << 16]));
+///     let shared = ctx.broadcast_shared(0, v);
+///     shared.get().len()
+/// });
+/// assert!(out.results.iter().all(|&n| n == 1 << 16));
+/// ```
 #[derive(Debug)]
 pub struct Shared<T: ?Sized>(Arc<T>);
 

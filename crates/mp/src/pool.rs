@@ -13,14 +13,14 @@
 //! wait forever on running ranks that wait on them). Dispatch therefore
 //! *reserves* one worker per rank up front, growing the pool when fewer
 //! workers are idle, and never multiplexes two runs onto one thread. The
-//! idle set is trimmed back to [`MAX_IDLE_WORKERS`] after each batch, so
+//! idle set is trimmed back to `MAX_IDLE_WORKERS` after each batch, so
 //! a one-off huge run does not pin its thread count for the process
 //! lifetime.
 //!
 //! # Scoped jobs
 //!
 //! Jobs borrow the caller's stack (the SPMD body is `Fn(&mut Ctx) -> R`
-//! with no `'static` bound), so [`run_scoped`] erases their lifetime to
+//! with no `'static` bound), so `run_scoped` erases their lifetime to
 //! hand them to the pool and then **blocks until every dispatched job has
 //! signalled completion** before returning — the same contract as
 //! `std::thread::scope`, with the threads outliving the scope instead of

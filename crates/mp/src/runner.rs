@@ -241,6 +241,20 @@ where
 /// recycled between calls, so calling this in a loop costs a pool
 /// dispatch — not `nprocs` thread spawns plus `nprocs²` channel
 /// constructions — per invocation.
+///
+/// ```
+/// use archetype_mp::{run_spmd, MachineModel};
+///
+/// // Ranks pass their rank number around a ring.
+/// let out = run_spmd(3, MachineModel::cray_t3d(), |ctx| {
+///     let right = (ctx.rank() + 1) % ctx.nprocs();
+///     let left = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+///     ctx.send(right, 0, ctx.rank() as u64);
+///     ctx.recv::<u64>(left, 0)
+/// });
+/// assert_eq!(out.results, vec![2, 0, 1]);
+/// assert!(out.elapsed_virtual > 0.0);
+/// ```
 pub fn run_spmd<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
 where
     F: Fn(&mut Ctx) -> R + Sync,

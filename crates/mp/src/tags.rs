@@ -1,0 +1,87 @@
+//! Reserved tag namespaces for archetype-level protocols.
+//!
+//! The substrate's [`Tag`] space is partitioned so that user messages,
+//! collectives, group collectives, and archetype protocols can never
+//! collide:
+//!
+//! | bits            | owner                                     |
+//! |-----------------|-------------------------------------------|
+//! | `1 << 63`       | world collectives ([`crate::collectives`])|
+//! | `1 << 62`       | group collectives ([`crate::Group`])      |
+//! | `1 << 61`       | farm protocol (this module)               |
+//! | rest            | free for application point-to-point use   |
+//!
+//! The farm namespace carries the task-farm archetype's message
+//! kinds, each versioned by the farm's round number so that back-to-back
+//! rounds — and even two farms run one after the other in the same SPMD
+//! body, provided they execute in lockstep — cannot confuse each other's
+//! traffic.
+
+use crate::ctx::Tag;
+
+/// Base bit of the farm protocol's tag namespace.
+pub const FARM_TAG_BASE: u64 = 1 << 61;
+
+/// The message kinds of the task-farm protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FarmTag {
+    /// A load report asking the partner for surplus work.
+    StealRequest,
+    /// The (possibly empty) batch of tasks answering a steal request.
+    StealReply,
+    /// The termination/steering wave token passed along the rank ring
+    /// (the verdict travels back on the collective broadcast tree).
+    Wave,
+}
+
+impl FarmTag {
+    const fn code(self) -> u64 {
+        match self {
+            FarmTag::StealRequest => 0,
+            FarmTag::StealReply => 1,
+            FarmTag::Wave => 2,
+        }
+    }
+}
+
+/// The tag for farm message kind `kind` in round `round`.
+///
+/// Rounds are folded into the 59 bits below the kind field; a farm would
+/// need ~10¹⁷ rounds to wrap, at which point messages from round `r` and
+/// round `r + 2⁵⁹` could alias — far beyond any simulated run.
+///
+/// ```
+/// use archetype_mp::tags::{farm_tag, FarmTag, FARM_TAG_BASE};
+/// let t = farm_tag(FarmTag::StealRequest, 7);
+/// assert_ne!(t, farm_tag(FarmTag::StealReply, 7)); // kinds are disjoint
+/// assert_ne!(t, farm_tag(FarmTag::StealRequest, 8)); // rounds are disjoint
+/// assert_eq!(t & FARM_TAG_BASE, FARM_TAG_BASE); // inside the farm namespace
+/// ```
+pub const fn farm_tag(kind: FarmTag, round: u64) -> Tag {
+    FARM_TAG_BASE | (kind.code() << 59) | (round & ((1 << 59) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::COLLECTIVE_TAG_BASE;
+
+    #[test]
+    fn kinds_and_rounds_never_collide() {
+        let kinds = [FarmTag::StealRequest, FarmTag::StealReply, FarmTag::Wave];
+        let mut seen = std::collections::HashSet::new();
+        for kind in kinds {
+            for round in [0u64, 1, 2, 1000, 123_456_789] {
+                assert!(seen.insert(farm_tag(kind, round)));
+            }
+        }
+    }
+
+    #[test]
+    fn farm_namespace_is_disjoint_from_collectives_and_groups() {
+        let t = farm_tag(FarmTag::Wave, 42);
+        assert_eq!(t & COLLECTIVE_TAG_BASE, 0, "not a world collective tag");
+        assert_eq!(t & (1 << 62), 0, "not a group collective tag");
+        assert_ne!(t & FARM_TAG_BASE, 0);
+    }
+}

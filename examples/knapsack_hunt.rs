@@ -4,7 +4,10 @@
 //!
 //! Run with: `cargo run --example knapsack_hunt --release`
 
-use parallel_archetypes::bnb::{knapsack_dp, solve_sequential, solve_shared, solve_spmd, Knapsack};
+use parallel_archetypes::bnb::{
+    knapsack_dp, solve_farm, solve_sequential, solve_shared, solve_spmd, Knapsack,
+};
+use parallel_archetypes::farm::FarmConfig;
 use parallel_archetypes::mp::{run_spmd, MachineModel};
 
 fn main() {
@@ -54,6 +57,24 @@ fn main() {
             out.elapsed_virtual * 1e3
         );
         assert!(out.results.iter().all(|(v, _)| *v == oracle as f64));
+    }
+
+    // The same search as a task-farm archetype instance: the skeleton
+    // supplies best-first queueing, incumbent sharing, work stealing,
+    // and wave-based termination.
+    for p in [2usize, 4, 8] {
+        let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+            solve_farm(&Knapsack::new(&items, capacity), ctx, FarmConfig::default())
+        });
+        let (best_farm, stats, fstats) = out.results[0];
+        println!(
+            "farm on {p} processes:     {best_farm}  ({} expanded, {} pruned, {} stolen, {:.1} ms virtual)",
+            stats.expanded,
+            stats.pruned,
+            fstats.stolen,
+            out.elapsed_virtual * 1e3
+        );
+        assert!(out.results.iter().all(|&(v, _, _)| v == oracle as f64));
     }
     assert_eq!(best, oracle as f64);
     assert_eq!(best_shared, oracle as f64);

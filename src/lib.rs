@@ -65,6 +65,10 @@ pub use archetype_mesh as mesh;
 /// future-work list (re-export of `archetype-bnb`).
 pub use archetype_bnb as bnb;
 
+/// Task-farm (master–worker) archetype: adaptive batching, work
+/// stealing, wave-based termination (re-export of `archetype-farm`).
+pub use archetype_farm as farm;
+
 /// SPMD message-passing substrate with virtual-time machine models
 /// (re-export of `archetype-mp`).
 pub use archetype_mp as mp;

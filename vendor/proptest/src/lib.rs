@@ -163,7 +163,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: std::ops::Range<usize>,
