@@ -11,6 +11,9 @@
 /// paper (and compose into their dataflow patterns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PhaseKind {
+    /// Recursive D&C: divide the problem and descend into disjoint
+    /// subcommunicators (one level of the recursion tree).
+    Recurse,
     /// One-deep D&C: compute split parameters and partition the input.
     Split,
     /// One-deep D&C: solve each subproblem independently (sequentially).
@@ -47,6 +50,7 @@ pub enum PhaseKind {
 impl std::fmt::Display for PhaseKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
+            PhaseKind::Recurse => "recurse",
             PhaseKind::Split => "split",
             PhaseKind::Solve => "solve",
             PhaseKind::Merge => "merge",
@@ -126,6 +130,24 @@ pub const MESH_SPECTRAL: ArchetypeInfo = ArchetypeInfo {
     ],
 };
 
+/// The general recursive divide-and-conquer archetype: divide into `k`
+/// subproblems, recurse on disjoint process subgroups until a
+/// performance-model-chosen cutoff, solve sequentially at the leaves, and
+/// merge subsolutions up a combining tree. The one-deep archetype
+/// ([`ONE_DEEP_DC`]) is its depth-one special case; the paper (§2.1.1)
+/// presents the recursive form as the "traditional" structure whose
+/// communication the archetype derives from the recursion tree.
+pub const RECURSIVE_DC: ArchetypeInfo = ArchetypeInfo {
+    name: "recursive divide-and-conquer",
+    phases: &[PhaseKind::Recurse, PhaseKind::Solve, PhaseKind::Merge],
+    communication: &[
+        "group broadcast of the subproblem size before each cutoff decision",
+        "group scatter of subproblems to subgroup roots (recursion descent)",
+        "group gather of subsolutions to the group root (combining tree)",
+        "nested Group::split subcommunicators with disjoint tag namespaces",
+    ],
+};
+
 /// The task-farm (master–worker) archetype: an irregular pool of
 /// independent tasks — possibly spawning further tasks — drained by
 /// workers in batches, rebalanced by work stealing, and terminated by a
@@ -165,6 +187,14 @@ mod tests {
         assert!(TASK_FARM.phases.contains(&PhaseKind::Steal));
         assert!(!TASK_FARM.phases.contains(&PhaseKind::Merge));
         assert!(TASK_FARM.communication.iter().any(|c| c.contains("steal")));
+        assert!(RECURSIVE_DC.phases.contains(&PhaseKind::Recurse));
+        assert!(RECURSIVE_DC.phases.contains(&PhaseKind::Solve));
+        assert!(RECURSIVE_DC.phases.contains(&PhaseKind::Merge));
+        assert!(!ONE_DEEP_DC.phases.contains(&PhaseKind::Recurse));
+        assert!(RECURSIVE_DC
+            .communication
+            .iter()
+            .any(|c| c.contains("scatter")));
     }
 
     #[test]
@@ -174,6 +204,7 @@ mod tests {
         assert_eq!(PhaseKind::Communication.to_string(), "communication");
         assert_eq!(PhaseKind::Seed.to_string(), "seed");
         assert_eq!(PhaseKind::Terminate.to_string(), "terminate");
+        assert_eq!(PhaseKind::Recurse.to_string(), "recurse");
     }
 
     #[test]

@@ -259,6 +259,146 @@ pub fn global_closest(outs: &[f64]) -> f64 {
     outs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// A subsolution of the recursive closest-pair algorithm: the slab's
+/// closest distance plus its **boundary candidates** — the points lying
+/// within `best` of the slab's x-extremes, sorted by (x, y). Only those
+/// can ever participate in a cross-slab strip higher up the combining
+/// tree (ancestor boundaries lie outside this subtree's x-range and the
+/// candidate radius only shrinks as `best` improves), so interior points
+/// are pruned before travelling — which is what keeps the upward
+/// communication of the SPMD recursion proportional to strip density
+/// rather than to the full point set.
+#[derive(Clone, Debug)]
+pub struct ClosestSolution {
+    /// Closest distance found so far within this subtree's points.
+    pub best: f64,
+    /// Boundary-candidate points of the subtree, sorted by (x, y).
+    pub pts: Vec<Point>,
+}
+
+/// Drop points that can never appear in an ancestor boundary strip:
+/// those farther than `best` from both x-extremes of the (x-sorted) set.
+fn prune_candidates(best: f64, pts: Vec<Point>) -> Vec<Point> {
+    let (Some(first), Some(last)) = (pts.first(), pts.last()) else {
+        return pts;
+    };
+    if !best.is_finite() || first.x + best >= last.x - best {
+        return pts; // the two candidate bands overlap: keep everything
+    }
+    let lo = first.x + best;
+    let hi = last.x - best;
+    pts.into_iter().filter(|q| q.x < lo || q.x > hi).collect()
+}
+
+impl Payload for ClosestSolution {
+    fn size_bytes(&self) -> usize {
+        8 + self.pts.len() * std::mem::size_of::<Point>()
+    }
+}
+
+/// Closest pair in general recursive divide-and-conquer form
+/// ([`crate::recursive::Recursive`]): divide by bucketing the points into
+/// `k` vertical slabs at sampled x-splitters (linear, no sorting); solve
+/// a slab with the classic sequential divide-and-conquer; combine by
+/// taking the minimum of the subtree distances and scanning the y-sorted
+/// strip around every slab boundary for closer cross-slab pairs.
+/// Whatever the recursion shape, the result is the exact distance of the
+/// same closest pair, so the algorithm matches [`sequential_closest`]
+/// and [`OneDeepClosest`] at every depth.
+#[derive(Clone, Copy, Debug)]
+pub struct RecursiveClosest {
+    /// x-coordinate samples per slab for splitter selection.
+    pub oversample: usize,
+}
+
+impl RecursiveClosest {
+    /// With the default oversampling factor (8 samples per slab).
+    pub fn new() -> Self {
+        RecursiveClosest { oversample: 8 }
+    }
+}
+
+impl Default for RecursiveClosest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl crate::recursive::Recursive for RecursiveClosest {
+    type Problem = Vec<Point>;
+    type Solution = ClosestSolution;
+
+    fn size(&self, p: &Vec<Point>) -> usize {
+        p.len()
+    }
+
+    fn divide(&self, p: Vec<Point>, k: usize) -> Vec<Vec<Point>> {
+        // Sampled x-splitters cut the plane into k vertical slabs —
+        // disjoint x-ranges in increasing order, one binary search per
+        // point (shared with the recursive quicksort's divide).
+        crate::quicksort::bucket_by_sampled_splitters(p, k, self.oversample, |q| q.x)
+    }
+
+    fn solve(&self, mut p: Vec<Point>) -> ClosestSolution {
+        p.sort_by(cmp_xy);
+        let best = if p.len() >= 2 {
+            closest_rec(&p)
+        } else {
+            f64::INFINITY
+        };
+        ClosestSolution {
+            best,
+            pts: prune_candidates(best, p),
+        }
+    }
+
+    fn combine(&self, parts: Vec<ClosestSolution>) -> ClosestSolution {
+        let mut best = parts.iter().map(|s| s.best).fold(f64::INFINITY, f64::min);
+        let mut all: Vec<Point> = Vec::with_capacity(parts.iter().map(|s| s.pts.len()).sum());
+        for part in parts {
+            if let (Some(left), Some(right)) = (all.last(), part.pts.first()) {
+                // Vertical strip around the slab boundary between what we
+                // have accumulated (all x ≤ boundary) and this part.
+                let bx = 0.5 * (left.x + right.x);
+                let mut strip: Vec<Point> = all
+                    .iter()
+                    .chain(part.pts.iter())
+                    .filter(|q| (q.x - bx).abs() < best)
+                    .copied()
+                    .collect();
+                strip.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("non-NaN"));
+                for i in 0..strip.len() {
+                    for j in i + 1..strip.len() {
+                        if strip[j].y - strip[i].y >= best {
+                            break;
+                        }
+                        best = best.min(strip[i].dist(&strip[j]));
+                    }
+                }
+            }
+            all.extend(part.pts);
+        }
+        ClosestSolution {
+            best,
+            pts: prune_candidates(best, all),
+        }
+    }
+
+    // ---- cost model ------------------------------------------------------
+    fn divide_cost(&self, p: &Vec<Point>) -> f64 {
+        // Splitter sampling plus one binary search per point.
+        2.0 * p.len() as f64 + 64.0
+    }
+    fn solve_cost(&self, p: &Vec<Point>) -> f64 {
+        let n = p.len().max(1) as f64;
+        10.0 * n * n.log2().max(1.0)
+    }
+    fn combine_cost(&self, parts: &[ClosestSolution]) -> f64 {
+        let total: usize = parts.iter().map(|s| s.pts.len()).sum();
+        8.0 * total.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +505,106 @@ mod tests {
             run_spmd(&OneDeepClosest::new(), ctx, inputs[ctx.rank()].clone())
         });
         assert!((global_closest(&spmd.results) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursive_closest_matches_sequential_at_every_depth() {
+        use crate::recursive::{run_shared as run_rec, CutoffPolicy};
+        let pts = pseudo_random_points(500, 7);
+        let expected = sequential_closest(&pts);
+        for depth in 0..4 {
+            for k in [2usize, 3] {
+                let got = run_rec(
+                    &RecursiveClosest::new(),
+                    pts.clone(),
+                    &CutoffPolicy::exact_depth(depth, k),
+                    ExecutionMode::Sequential,
+                    None,
+                );
+                assert!(
+                    (got.best - expected).abs() < 1e-12,
+                    "depth={depth} k={k}: {} vs {expected}",
+                    got.best
+                );
+                assert!(got.pts.len() <= pts.len(), "pruning never invents points");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_closest_finds_cross_slab_pairs() {
+        use crate::recursive::{run_shared as run_rec, CutoffPolicy};
+        // The closest pair straddles every boundary a 4-way cut makes.
+        let pts = vec![
+            p(0.0, 0.0),
+            p(24.9, 0.0),
+            p(25.1, 0.0),
+            p(50.0, 0.0),
+            p(75.0, 0.0),
+            p(100.0, 0.0),
+            p(125.0, 0.0),
+            p(150.0, 0.0),
+        ];
+        let got = run_rec(
+            &RecursiveClosest::new(),
+            pts,
+            &CutoffPolicy::exact_depth(1, 4),
+            ExecutionMode::Sequential,
+            None,
+        );
+        assert!((got.best - 0.2).abs() < 1e-9, "{}", got.best);
+    }
+
+    #[test]
+    fn recursive_closest_spmd_matches_sequential_oracle() {
+        use crate::recursive::{run_spmd_recursive, CutoffPolicy};
+        let pts = pseudo_random_points(400, 31);
+        let expected = sequential_closest(&pts);
+        for depth in [0usize, 2, 3] {
+            let inp = pts.clone();
+            let out = mp_run(6, MachineModel::ibm_sp(), move |ctx| {
+                let local = (ctx.rank() == 0).then(|| inp.clone());
+                run_spmd_recursive(
+                    &RecursiveClosest::new(),
+                    ctx,
+                    local,
+                    &CutoffPolicy::exact_depth(depth, 2),
+                    None,
+                )
+            });
+            let got = out.results[0].as_ref().expect("root has the solution");
+            assert!((got.best - expected).abs() < 1e-12, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn recursive_closest_degenerate_inputs() {
+        use crate::recursive::{run_shared as run_rec, CutoffPolicy};
+        let policy = CutoffPolicy::exact_depth(3, 2);
+        let empty = run_rec(
+            &RecursiveClosest::new(),
+            Vec::new(),
+            &policy,
+            ExecutionMode::Sequential,
+            None,
+        );
+        assert_eq!(empty.best, f64::INFINITY);
+        let single = run_rec(
+            &RecursiveClosest::new(),
+            vec![p(1.0, 1.0)],
+            &policy,
+            ExecutionMode::Sequential,
+            None,
+        );
+        assert_eq!(single.best, f64::INFINITY);
+        let coincident = run_rec(
+            &RecursiveClosest::new(),
+            vec![p(5.0, 5.0), p(5.0, 5.0), p(9.0, 9.0)],
+            &policy,
+            ExecutionMode::Sequential,
+            None,
+        );
+        assert_eq!(coincident.best, 0.0);
     }
 
     #[test]

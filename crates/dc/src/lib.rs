@@ -25,6 +25,18 @@
 //! 3. [`skeleton::run_spmd`] inside [`archetype_mp::run_spmd`] — the
 //!    distributed-memory "version 2" with all-to-all redistribution,
 //!    costed against the virtual clock for speedup studies.
+//!
+//! The crate also implements the **general recursive** form of the
+//! archetype ([`recursive`]): a [`recursive::Recursive`] problem divides
+//! into `k` subproblems per level and descends a tree of nested
+//! [`archetype_mp::Group`] subcommunicators until a
+//! performance-model-chosen cutoff ([`perfmodel::recursion_policy`]),
+//! solving sequentially at the leaves and merging up a combining tree —
+//! executed by [`recursive::run_shared`] on shared memory and
+//! [`recursive::run_spmd_recursive`] over the substrate.
+//! [`mergesort::RecursiveMergesort`], [`quicksort::RecursiveQuicksort`],
+//! and [`closest::RecursiveClosest`] port the applications onto it, with
+//! their one-deep and sequential versions kept as oracles.
 
 pub mod closest;
 pub mod geometry;
@@ -32,17 +44,21 @@ pub mod hull;
 pub mod mergesort;
 pub mod perfmodel;
 pub mod quicksort;
+pub mod recursive;
 pub mod skeleton;
 pub mod skyline;
 pub mod traditional;
 
-pub use closest::{global_closest, sequential_closest, OneDeepClosest};
+pub use closest::{global_closest, sequential_closest, OneDeepClosest, RecursiveClosest};
 pub use geometry::{Building, Point, SkyPoint};
 pub use hull::{convex_hull, OneDeepHull};
-pub use mergesort::{sequential_mergesort, OneDeepMergesort};
-pub use quicksort::OneDeepQuicksort;
+pub use mergesort::{sequential_mergesort, OneDeepMergesort, RecursiveMergesort};
+pub use quicksort::{OneDeepQuicksort, RecursiveQuicksort};
+pub use recursive::{
+    run_shared as run_shared_recursive, run_spmd_recursive, CutoffPolicy, Recursive,
+};
 pub use skeleton::{run_shared, run_spmd, OneDeep};
 pub use skyline::{concat_skyline, sequential_skyline, OneDeepSkyline};
 pub use traditional::{
-    run_recursive, tree_mergesort_distributed_spmd, tree_mergesort_spmd, Recursive,
+    run_fork_join, tree_mergesort_distributed_spmd, tree_mergesort_spmd, ForkJoin,
 };

@@ -184,6 +184,83 @@ impl<T: SortItem> OneDeep for OneDeepMergesort<T> {
     }
 }
 
+/// Mergesort in general recursive divide-and-conquer form
+/// ([`crate::recursive::Recursive`]): divide a block positionally into
+/// `k` balanced chunks, sort chunks sequentially at the cutoff, and
+/// `k`-way-merge subsolutions up the combining tree. Depth-insensitive by
+/// construction — any recursion shape yields the identical sorted vector
+/// — so it matches [`OneDeepMergesort`] and [`sequential_mergesort`] as
+/// oracles at every depth and rank count.
+pub struct RecursiveMergesort<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> RecursiveMergesort<T> {
+    /// Construct the algorithm (it has no tuning parameters: the divide
+    /// is positional, so no sampling is involved).
+    pub fn new() -> Self {
+        RecursiveMergesort {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for RecursiveMergesort<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Split a vector positionally into `k` balanced contiguous chunks.
+pub(crate) fn chunk_evenly<T>(mut data: Vec<T>, k: usize) -> Vec<Vec<T>> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(k);
+    for j in (1..k).rev() {
+        let (start, _) = archetype_mp::topology::block_range(n, k, j);
+        out.push(data.split_off(start));
+    }
+    out.push(data);
+    out.reverse();
+    out
+}
+
+impl<T: SortItem> crate::recursive::Recursive for RecursiveMergesort<T> {
+    type Problem = Vec<T>;
+    type Solution = Vec<T>;
+
+    fn size(&self, p: &Vec<T>) -> usize {
+        p.len()
+    }
+
+    fn divide(&self, p: Vec<T>, k: usize) -> Vec<Vec<T>> {
+        chunk_evenly(p, k)
+    }
+
+    fn solve(&self, mut p: Vec<T>) -> Vec<T> {
+        p.sort_unstable();
+        p
+    }
+
+    fn combine(&self, parts: Vec<Vec<T>>) -> Vec<T> {
+        merge_k(parts)
+    }
+
+    // ---- cost model ------------------------------------------------------
+    fn divide_cost(&self, p: &Vec<T>) -> f64 {
+        // The split inspects/copies the whole block (the paper's first
+        // inefficiency of the traditional structure).
+        p.len() as f64
+    }
+    fn solve_cost(&self, p: &Vec<T>) -> f64 {
+        sort_flops(p.len())
+    }
+    fn combine_cost(&self, parts: &[Vec<T>]) -> f64 {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let k = parts.iter().filter(|p| !p.is_empty()).count().max(1);
+        merge_flops(total) * (k as f64).log2().max(1.0)
+    }
+}
+
 /// Sequential mergesort — the baseline all Figure 6 speedups are relative
 /// to, and the reference implementation in correctness tests.
 pub fn sequential_mergesort<T: Ord>(data: Vec<T>) -> Vec<T> {
@@ -310,6 +387,60 @@ mod tests {
             max < 2.0 * per as f64,
             "largest block {max} should be < 2x ideal {per}"
         );
+    }
+
+    #[test]
+    fn recursive_mergesort_matches_oracles_at_every_depth() {
+        use crate::recursive::{run_shared as run_rec, CutoffPolicy};
+        let input: Vec<i64> = blocks(1, 700).pop().unwrap();
+        let expected = sequential_mergesort(input.clone());
+        for depth in 0..4 {
+            for k in [2usize, 3] {
+                let got = run_rec(
+                    &RecursiveMergesort::<i64>::new(),
+                    input.clone(),
+                    &CutoffPolicy::exact_depth(depth, k),
+                    ExecutionMode::Sequential,
+                    None,
+                );
+                assert_eq!(got, expected, "depth={depth} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_mergesort_spmd_matches_one_deep() {
+        use crate::recursive::{run_spmd_recursive, CutoffPolicy};
+        let input: Vec<i64> = blocks(1, 600).pop().unwrap();
+        let expected = sequential_mergesort(input.clone());
+        for p in [1usize, 4, 8] {
+            let inp = input.clone();
+            let out = mp_run(p, MachineModel::ibm_sp(), move |ctx| {
+                let local = (ctx.rank() == 0).then(|| inp.clone());
+                run_spmd_recursive(
+                    &RecursiveMergesort::<i64>::new(),
+                    ctx,
+                    local,
+                    &CutoffPolicy::exact_depth(4, 2),
+                    None,
+                )
+            });
+            assert_eq!(out.results[0].as_ref().unwrap(), &expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn chunk_evenly_is_balanced_and_order_preserving() {
+        let v: Vec<i64> = (0..10).collect();
+        let chunks = chunk_evenly(v.clone(), 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<i64> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, v);
+        assert!(chunks.iter().all(|c| (3..=4).contains(&c.len())));
+        // Degenerate shapes.
+        assert_eq!(chunk_evenly(Vec::<i64>::new(), 4), vec![vec![]; 4]);
+        let single = chunk_evenly(vec![9i64], 3);
+        assert_eq!(single.iter().flatten().count(), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use archetype_mp::MachineModel;
 
+use crate::recursive::CutoffPolicy;
 use crate::traditional::{merge_flops, sort_flops};
 
 /// Closed-form prediction of the one-deep mergesort SPMD time for `n`
@@ -52,6 +53,73 @@ pub fn predict_one_deep_mergesort(
     let t_merge = merge_flops(local as usize) * (p as f64).log2().max(1.0) * ft;
 
     t_solve + t_allgather + t_params + t_partition + t_exchange + t_merge
+}
+
+/// Smallest block size for which dividing a sort in two across two
+/// processes beats solving it sequentially under `model` — the
+/// performance-model-chosen recursion cutoff of the recursive
+/// divide-and-conquer skeleton.
+///
+/// The comparison is the closed-form analogue of one recursion level:
+/// sequential time `sort(n)` against divide (linear inspection) + one
+/// subproblem shipped out and one subsolution shipped back (`n/2`
+/// elements each way) + the slower child's `sort(n/2)` + the combining
+/// merge. Below the returned size, communication dominates the saved
+/// compute and the skeleton solves sequentially.
+pub fn sort_recursion_cutoff(model: &MachineModel, elem_bytes: usize) -> usize {
+    let ft = model.flop_time;
+    let per_msg = model.send_overhead + model.latency + model.recv_overhead;
+    let mut n = 4usize;
+    while n < (1 << 30) {
+        let seq = sort_flops(n) * ft;
+        let half = n / 2;
+        let wire = per_msg + (half * elem_bytes) as f64 * model.byte_time;
+        let split = (n as f64 + merge_flops(n)) * ft // divide + combine
+            + 2.0 * wire // subproblem down, subsolution up
+            + sort_flops(half) * ft; // the critical-path child
+        if split < seq {
+            return n;
+        }
+        n *= 2;
+    }
+    1 << 30
+}
+
+/// The model-derived [`CutoffPolicy`] for the recursive sorting
+/// applications: recurse `branching`-way while blocks stay above the
+/// machine's [`sort_recursion_cutoff`], with a generous depth cap as a
+/// termination backstop for pathological divides.
+pub fn recursion_policy(model: &MachineModel, branching: usize, elem_bytes: usize) -> CutoffPolicy {
+    CutoffPolicy::new(branching, sort_recursion_cutoff(model, elem_bytes), 40)
+}
+
+/// [`sort_recursion_cutoff`]'s analogue for the recursive closest-pair
+/// application, using its cost model (`10 n log₂ n` solve, linear
+/// splitter divide and strip combine, 16-byte points on the wire).
+pub fn closest_recursion_cutoff(model: &MachineModel) -> usize {
+    let ft = model.flop_time;
+    let per_msg = model.send_overhead + model.latency + model.recv_overhead;
+    let solve = |n: usize| 10.0 * n.max(1) as f64 * (n.max(1) as f64).log2().max(1.0);
+    let mut n = 4usize;
+    while n < (1 << 30) {
+        let seq = solve(n) * ft;
+        let half = n / 2;
+        let wire = per_msg + (half * 16) as f64 * model.byte_time;
+        let split = (2.0 * n as f64 + 8.0 * n as f64) * ft // divide + combine
+            + 2.0 * wire // subproblem down, candidates up
+            + solve(half) * ft; // the critical-path child
+        if split < seq {
+            return n;
+        }
+        n *= 2;
+    }
+    1 << 30
+}
+
+/// The model-derived [`CutoffPolicy`] for the recursive closest-pair
+/// application.
+pub fn closest_recursion_policy(model: &MachineModel, branching: usize) -> CutoffPolicy {
+    CutoffPolicy::new(branching, closest_recursion_cutoff(model), 40)
 }
 
 /// Predicted speedup over the modeled sequential mergesort.
@@ -113,6 +181,46 @@ mod tests {
         assert!(s8 < s32 && s32 < s64, "{s8} {s32} {s64}");
         // Efficiency must fall with p (communication grows).
         assert!(s64 / 64.0 < s8 / 8.0);
+    }
+
+    #[test]
+    fn recursion_cutoff_tracks_network_quality() {
+        // A faster network should let the recursion profitably divide
+        // smaller blocks; zero-cost communication always pays.
+        let fast = sort_recursion_cutoff(&MachineModel::cray_t3d(), 8);
+        let slow = sort_recursion_cutoff(&MachineModel::workstation_network(), 8);
+        let free = sort_recursion_cutoff(&MachineModel::zero_comm(), 8);
+        assert!(fast < slow, "t3d cutoff {fast} < ethernet cutoff {slow}");
+        assert!(free <= fast);
+        assert!(fast < 1 << 20, "a real machine still has a finite cutoff");
+        // Heavier elements raise the cutoff (more bytes per item moved).
+        assert!(
+            sort_recursion_cutoff(&MachineModel::ibm_sp(), 64)
+                >= sort_recursion_cutoff(&MachineModel::ibm_sp(), 8)
+        );
+        // The closest-pair cutoff follows the same ordering.
+        assert!(
+            closest_recursion_cutoff(&MachineModel::cray_t3d())
+                <= closest_recursion_cutoff(&MachineModel::workstation_network())
+        );
+        assert!(closest_recursion_cutoff(&MachineModel::ibm_sp()) < 1 << 20);
+    }
+
+    #[test]
+    fn recursion_policy_is_usable_end_to_end() {
+        use crate::mergesort::RecursiveMergesort;
+        use crate::recursive::run_spmd_recursive;
+        let model = MachineModel::cray_t3d();
+        let policy = recursion_policy(&model, 2, 8);
+        assert!(policy.min_items >= 2);
+        let data: Vec<i64> = (0..40_000).map(|i| (i * 48271) % 99991).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let out = run_spmd(8, model, move |ctx| {
+            let local = (ctx.rank() == 0).then(|| data.clone());
+            run_spmd_recursive(&RecursiveMergesort::<i64>::new(), ctx, local, &policy, None)
+        });
+        assert_eq!(out.results[0].as_ref().unwrap(), &expected);
     }
 
     #[test]

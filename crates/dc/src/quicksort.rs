@@ -41,7 +41,7 @@ impl<T> Default for OneDeepQuicksort<T> {
 }
 
 /// Evenly spaced sample of up to `k` elements of *unsorted* data.
-fn sample_unsorted<T: Copy>(data: &[T], k: usize) -> Vec<T> {
+pub(crate) fn sample_unsorted<T: Copy>(data: &[T], k: usize) -> Vec<T> {
     if data.is_empty() || k == 0 {
         return Vec::new();
     }
@@ -49,6 +49,44 @@ fn sample_unsorted<T: Copy>(data: &[T], k: usize) -> Vec<T> {
     (0..k)
         .map(|i| data[((2 * i + 1) * data.len()) / (2 * k)])
         .collect()
+}
+
+/// The sample → sort → splitter → bucket divide shared by the recursive
+/// quicksort and closest-pair applications: take `oversample · k`
+/// evenly spaced samples, sort their keys, pick `k − 1` splitters, and
+/// partition the data into `k` key ranges with one binary search per
+/// element. The strict `<` in the bucketing puts every key equal to a
+/// splitter in the splitter's own bucket, so buckets are disjoint,
+/// increasing key ranges — an invariant the closest-pair combine's
+/// slab-boundary strips rely on.
+pub(crate) fn bucket_by_sampled_splitters<T, K, F>(
+    data: Vec<T>,
+    k: usize,
+    oversample: usize,
+    key: F,
+) -> Vec<Vec<T>>
+where
+    T: Copy,
+    K: PartialOrd + Copy,
+    F: Fn(&T) -> K,
+{
+    let mut samples: Vec<K> = sample_unsorted(&data, oversample.max(1) * k)
+        .iter()
+        .map(&key)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("comparable keys"));
+    let splitters: Vec<K> = if samples.is_empty() {
+        Vec::new()
+    } else {
+        (1..k).map(|i| samples[(i * samples.len()) / k]).collect()
+    };
+    let mut out: Vec<Vec<T>> = (0..k).map(|_| Vec::new()).collect();
+    for v in data {
+        let kv = key(&v);
+        let bucket = splitters.partition_point(|s| *s < kv);
+        out[bucket].push(v);
+    }
+    out
 }
 
 impl<T: SortItem> OneDeep for OneDeepQuicksort<T> {
@@ -130,6 +168,74 @@ impl<T: SortItem> OneDeep for OneDeepQuicksort<T> {
     }
 }
 
+/// Quicksort in general recursive divide-and-conquer form
+/// ([`crate::recursive::Recursive`]): divide by sampling `k − 1` pivots
+/// and bucketing the *unsorted* data into key ranges, sort sequentially
+/// at the cutoff, and combine by concatenation (the degenerate merge).
+/// The bucket boundaries depend only on the data, so any recursion shape
+/// produces the identical sorted vector.
+pub struct RecursiveQuicksort<T> {
+    /// Samples per pivot used when dividing (≥ 1).
+    pub oversample: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> RecursiveQuicksort<T> {
+    /// With the default oversampling factor (8 samples per pivot).
+    pub fn new() -> Self {
+        Self::with_oversample(8)
+    }
+
+    /// With an explicit oversampling factor (≥ 1).
+    pub fn with_oversample(oversample: usize) -> Self {
+        assert!(oversample >= 1);
+        RecursiveQuicksort {
+            oversample,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for RecursiveQuicksort<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: SortItem> crate::recursive::Recursive for RecursiveQuicksort<T> {
+    type Problem = Vec<T>;
+    type Solution = Vec<T>;
+
+    fn size(&self, p: &Vec<T>) -> usize {
+        p.len()
+    }
+
+    fn divide(&self, p: Vec<T>, k: usize) -> Vec<Vec<T>> {
+        bucket_by_sampled_splitters(p, k, self.oversample, |v| *v)
+    }
+
+    fn solve(&self, mut p: Vec<T>) -> Vec<T> {
+        p.sort_unstable();
+        p
+    }
+
+    fn combine(&self, parts: Vec<Vec<T>>) -> Vec<T> {
+        parts.into_iter().flatten().collect()
+    }
+
+    // ---- cost model ------------------------------------------------------
+    fn divide_cost(&self, p: &Vec<T>) -> f64 {
+        // Pivot sort plus one binary search per element.
+        sort_flops(self.oversample) + 2.0 * p.len() as f64
+    }
+    fn solve_cost(&self, p: &Vec<T>) -> f64 {
+        sort_flops(p.len())
+    }
+    fn combine_cost(&self, parts: &[Vec<T>]) -> f64 {
+        parts.iter().map(Vec::len).sum::<usize>() as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +301,51 @@ mod tests {
         let trace = PhaseTrace::new();
         run_shared(&alg, blocks(3, 50), ExecutionMode::Sequential, Some(&trace));
         assert!(trace.matches(&[PhaseKind::Split, PhaseKind::Solve, PhaseKind::Merge]));
+    }
+
+    #[test]
+    fn recursive_quicksort_matches_oracles_at_every_depth() {
+        use crate::recursive::{run_shared as run_rec, run_spmd_recursive, CutoffPolicy};
+        let input: Vec<i64> = blocks(1, 500).pop().unwrap();
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        for depth in 0..4 {
+            let got = run_rec(
+                &RecursiveQuicksort::<i64>::new(),
+                input.clone(),
+                &CutoffPolicy::exact_depth(depth, 3),
+                ExecutionMode::Sequential,
+                None,
+            );
+            assert_eq!(got, expected, "depth={depth}");
+        }
+        let inp = input.clone();
+        let out = mp_run(5, MachineModel::ibm_sp(), move |ctx| {
+            let local = (ctx.rank() == 0).then(|| inp.clone());
+            run_spmd_recursive(
+                &RecursiveQuicksort::<i64>::new(),
+                ctx,
+                local,
+                &CutoffPolicy::exact_depth(3, 2),
+                None,
+            )
+        });
+        assert_eq!(out.results[0].as_ref().unwrap(), &expected);
+    }
+
+    #[test]
+    fn recursive_quicksort_survives_all_equal_keys() {
+        use crate::recursive::{run_shared as run_rec, CutoffPolicy};
+        // Every element lands in one bucket; the depth cap terminates the
+        // recursion and the answer is still correct.
+        let got = run_rec(
+            &RecursiveQuicksort::<i64>::new(),
+            vec![7i64; 200],
+            &CutoffPolicy::exact_depth(5, 2),
+            ExecutionMode::Sequential,
+            None,
+        );
+        assert_eq!(got, vec![7i64; 200]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Two executions are provided:
 //!
-//! - [`run_recursive`]: a generic fork/join skeleton on shared memory
+//! - [`run_fork_join`]: a generic binary fork/join skeleton on shared memory
 //!   (rayon `join` in parallel mode), the direct transcription of Figure 1;
 //! - [`tree_mergesort_spmd`]: the distributed-memory variant used for the
 //!   Figure 6 comparison — data fans out from process 0 down a binary tree
@@ -15,8 +15,10 @@
 use archetype_core::ExecutionMode;
 use archetype_mp::{Ctx, FixedSize};
 
-/// A problem expressed as traditional recursive divide-and-conquer.
-pub trait Recursive: Sync {
+/// A problem expressed as traditional *binary* recursive divide-and-conquer
+/// (the paper's Figure 1 baseline). The general `k`-way, group-aware form
+/// lives in [`crate::recursive::Recursive`].
+pub trait ForkJoin: Sync {
     /// Problem type.
     type Problem: Send;
     /// Solution type.
@@ -32,22 +34,22 @@ pub trait Recursive: Sync {
     fn combine(&self, a: Self::Solution, b: Self::Solution) -> Self::Solution;
 }
 
-/// Execute a [`Recursive`] problem; in parallel mode each split spawns the
+/// Execute a [`ForkJoin`] problem; in parallel mode each split spawns the
 /// two subproblems with `rayon::join` ("every time the problem is split
 /// into concurrently-executable subproblems a new process is created").
-pub fn run_recursive<A: Recursive>(alg: &A, p: A::Problem, mode: ExecutionMode) -> A::Solution {
+pub fn run_fork_join<A: ForkJoin>(alg: &A, p: A::Problem, mode: ExecutionMode) -> A::Solution {
     if alg.is_base(&p) {
         return alg.base_solve(p);
     }
     let (left, right) = alg.divide(p);
     let (a, b) = match mode {
         ExecutionMode::Sequential => (
-            run_recursive(alg, left, mode),
-            run_recursive(alg, right, mode),
+            run_fork_join(alg, left, mode),
+            run_fork_join(alg, right, mode),
         ),
         ExecutionMode::Parallel => rayon::join(
-            || run_recursive(alg, left, mode),
-            || run_recursive(alg, right, mode),
+            || run_fork_join(alg, left, mode),
+            || run_fork_join(alg, right, mode),
         ),
     };
     alg.combine(a, b)
@@ -214,7 +216,7 @@ mod tests {
     use archetype_mp::{run_spmd, MachineModel};
 
     struct MergesortRec;
-    impl Recursive for MergesortRec {
+    impl ForkJoin for MergesortRec {
         type Problem = Vec<i64>;
         type Solution = Vec<i64>;
         fn is_base(&self, p: &Vec<i64>) -> bool {
@@ -243,14 +245,14 @@ mod tests {
         let mut expected = input.clone();
         expected.sort_unstable();
         for mode in ExecutionMode::both() {
-            let got = run_recursive(&MergesortRec, input.clone(), mode);
+            let got = run_fork_join(&MergesortRec, input.clone(), mode);
             assert_eq!(got, expected, "{mode}");
         }
     }
 
     #[test]
     fn recursive_base_case_only() {
-        let got = run_recursive(&MergesortRec, vec![3, 1, 2], ExecutionMode::Parallel);
+        let got = run_fork_join(&MergesortRec, vec![3, 1, 2], ExecutionMode::Parallel);
         assert_eq!(got, vec![1, 2, 3]);
     }
 

@@ -51,6 +51,15 @@ impl Group {
     /// Panics if `members` is empty or contains duplicates or
     /// out-of-range ranks.
     pub fn new(ctx: &Ctx, members: Vec<usize>) -> Option<Group> {
+        Self::new_salted(ctx, members, 0)
+    }
+
+    /// [`Group::new`] with a namespace salt folded into the tag-space
+    /// hash. Used by [`Group::split_nested`] so a subgroup whose member
+    /// list *equals* its parent's (a degenerate split with one color)
+    /// still gets a tag namespace disjoint from the parent's — the
+    /// member list alone cannot distinguish them.
+    fn new_salted(ctx: &Ctx, members: Vec<usize>, salt: u64) -> Option<Group> {
         assert!(!members.is_empty(), "a group needs at least one member");
         let mut seen = vec![false; ctx.nprocs()];
         for &m in &members {
@@ -58,9 +67,11 @@ impl Group {
             assert!(!seen[m], "duplicate member {m}");
             seen[m] = true;
         }
-        // Tag namespace from the member list (FNV-1a over the ranks), so
-        // different groups get (almost surely) disjoint tag spaces.
-        let mut gid: u64 = 0xcbf29ce484222325;
+        // Tag namespace from the salt and the member list (FNV-1a over
+        // the ranks), so different groups get (almost surely) disjoint
+        // tag spaces.
+        let mut gid: u64 = 0xcbf29ce484222325 ^ salt;
+        gid = gid.wrapping_mul(0x100000001b3);
         for &m in &members {
             gid ^= m as u64 + 1;
             gid = gid.wrapping_mul(0x100000001b3);
@@ -85,6 +96,36 @@ impl Group {
             .filter(|&r| colors[r] == my_color)
             .collect();
         Group::new(ctx, members).expect("own rank is in its color class")
+    }
+
+    /// The group of all ranks — the root of a nested-split recursion tree.
+    pub fn world(ctx: &Ctx) -> Group {
+        Group::new(ctx, (0..ctx.nprocs()).collect()).expect("own rank is in the world")
+    }
+
+    /// Split *this* group into subgroups by per-member color: `colors[i]`
+    /// is the color of group index `i` (the table is replicated, like
+    /// [`Group::split`]'s). Members sharing a color form one subgroup,
+    /// preserving their relative order. The subgroup's tag namespace is
+    /// derived from its member list *salted with the parent's namespace*
+    /// — so sibling subgroups at any nesting depth communicate without
+    /// interfering, and even a degenerate one-color split (subgroup ==
+    /// parent) gets a namespace disjoint from the parent's. This is the
+    /// substrate of the recursive divide-and-conquer archetype's descent
+    /// onto disjoint subcommunicators.
+    pub fn split_nested(&self, ctx: &Ctx, colors: &[usize]) -> Group {
+        assert_eq!(colors.len(), self.len(), "one color per group member");
+        let my_color = colors[self.my_index];
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .zip(colors)
+            .filter(|&(_, c)| *c == my_color)
+            .map(|(m, _)| m)
+            .collect();
+        Group::new_salted(ctx, members, self.gid.wrapping_add(1))
+            .expect("own rank is in its color class")
     }
 
     /// This rank's index within the group.
@@ -255,6 +296,58 @@ impl Group {
     pub fn all_gather<T: crate::FixedSize>(&mut self, ctx: &mut Ctx, value: T) -> Vec<T> {
         let gathered = self.gather(ctx, 0, value);
         self.broadcast(ctx, 0, gathered)
+    }
+
+    /// Linear scatter from group index `root`: the root supplies one value
+    /// per member (`values[i]` goes to group index `i`); every member
+    /// returns its own piece. The group-scoped counterpart of
+    /// [`Ctx::scatter`], used by the recursive divide-and-conquer skeleton
+    /// to deal subproblems down the recursion tree.
+    pub fn scatter<T: Payload>(&mut self, ctx: &mut Ctx, root: usize, values: Option<Vec<T>>) -> T {
+        let n = self.len();
+        let base = self.next_tag();
+        if self.my_index == root {
+            let values = values.expect("group scatter root must supply values");
+            assert_eq!(values.len(), n, "group scatter needs one value per member");
+            let mut own = None;
+            for (i, v) in values.into_iter().enumerate() {
+                if i == root {
+                    own = Some(v);
+                } else {
+                    ctx.send(self.members[i], base, v);
+                }
+            }
+            own.expect("root keeps its own piece")
+        } else {
+            ctx.recv(self.members[root], base)
+        }
+    }
+
+    /// Personalized all-to-all exchange within the group: `items[d]` is
+    /// delivered to group index `d`; the return value's slot `s` holds
+    /// what group index `s` sent here. The group-scoped counterpart of
+    /// [`Ctx::all_to_all`] — the redistribution pattern of a one-deep
+    /// split/merge phase, scoped to a subgroup so that sibling subgroups
+    /// can redistribute concurrently.
+    pub fn all_to_all<T: Payload>(&mut self, ctx: &mut Ctx, items: Vec<T>) -> Vec<T> {
+        let n = self.len();
+        assert_eq!(items.len(), n, "group all_to_all needs one item per member");
+        let base = self.next_tag();
+        let me = self.my_index;
+        let mut inbox: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut outbox: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        inbox[me] = outbox[me].take();
+        for offset in 1..n {
+            let dst = (me + offset) % n;
+            let src = (me + n - offset) % n;
+            let outgoing = outbox[dst].take().expect("one item per destination");
+            ctx.send(self.members[dst], base | offset as u64, outgoing);
+            inbox[src] = Some(ctx.recv(self.members[src], base | offset as u64));
+        }
+        inbox
+            .into_iter()
+            .map(|v| v.expect("exchange completed"))
+            .collect()
     }
 
     /// Linear gather to group index `root`.
@@ -439,6 +532,163 @@ mod tests {
             assert!(v.is_empty());
             assert_eq!(all.len(), 6);
             assert!(all.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn nested_split_forms_disjoint_subgroups() {
+        let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            let world = Group::world(ctx);
+            // Halves, then quarters, by contiguous index ranges.
+            let halves: Vec<usize> = (0..world.len()).map(|i| i / 4).collect();
+            let half = world.split_nested(ctx, &halves);
+            let quarters: Vec<usize> = (0..half.len()).map(|i| i / 2).collect();
+            let quarter = half.split_nested(ctx, &quarters);
+            (
+                half.len(),
+                half.rank(),
+                quarter.len(),
+                quarter.rank(),
+                quarter.global_rank(0),
+            )
+        });
+        for (r, &(hl, hr, ql, qr, qroot)) in out.results.iter().enumerate() {
+            assert_eq!(hl, 4);
+            assert_eq!(hr, r % 4);
+            assert_eq!(ql, 2);
+            assert_eq!(qr, r % 2);
+            assert_eq!(qroot, r - r % 2, "quarter root is the even partner");
+        }
+    }
+
+    #[test]
+    fn degenerate_one_color_nested_split_gets_a_fresh_tag_namespace() {
+        // A one-color nested split yields a subgroup with the *same*
+        // member list as its parent; the salt must still give it a
+        // disjoint tag namespace, and interleaved parent/child
+        // collectives must not alias each other's messages.
+        let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+            let mut world = Group::world(ctx);
+            let same = world.split_nested(ctx, &vec![0; world.len()]);
+            assert_eq!(same.members, world.members, "identical member list");
+            assert_ne!(same.gid, world.gid, "namespaces must differ");
+            // Repeating the split reproduces the same child namespace...
+            let again = world.split_nested(ctx, &vec![0; world.len()]);
+            assert_eq!(again.gid, same.gid);
+            // ...and a grandchild differs from both.
+            let mut grand = same.split_nested(ctx, &vec![0; same.len()]);
+            assert_ne!(grand.gid, same.gid);
+            assert_ne!(grand.gid, world.gid);
+            // Interleaved collectives on all three levels stay coherent.
+            let a = world.broadcast(ctx, 0, (world.rank() == 0).then_some(11u64));
+            let mut same = same;
+            let b = same.all_reduce(ctx, ctx.rank() as u64, |x, y| x + y);
+            let c = grand.broadcast(ctx, 0, (grand.rank() == 0).then_some(33u64));
+            (a, b, c)
+        });
+        for &(a, b, c) in &out.results {
+            assert_eq!((a, b, c), (11, 6, 33));
+        }
+    }
+
+    #[test]
+    fn sibling_subgroups_at_same_depth_cannot_observe_each_other() {
+        // Each sibling runs a *different number* of collectives carrying
+        // values stamped with the sibling's identity; every value a member
+        // observes must come from its own sibling, and a global collective
+        // afterwards still matches — the recursion-tree isolation property
+        // the recursive D&C skeleton leans on.
+        let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            let world = Group::world(ctx);
+            let colors: Vec<usize> = (0..world.len()).map(|i| i / 2).collect();
+            let mut pair = world.split_nested(ctx, &colors);
+            let my_color = ctx.rank() / 2;
+            let rounds = my_color + 1; // sibling j runs j+1 collectives
+            let mut seen = Vec::new();
+            for _ in 0..rounds {
+                let got = pair.all_to_all(ctx, vec![my_color as u64; pair.len()]);
+                seen.extend(got);
+            }
+            let gathered = pair.gather(ctx, 0, my_color as u64 * 100 + ctx.rank() as u64);
+            let world_sum = ctx.all_reduce(1u64, |a, b| a + b);
+            (seen, gathered, world_sum)
+        });
+        for (r, (seen, gathered, world_sum)) in out.results.iter().enumerate() {
+            let color = (r / 2) as u64;
+            assert_eq!(seen.len(), 2 * (r / 2 + 1));
+            assert!(
+                seen.iter().all(|&v| v == color),
+                "rank {r} observed a sibling's message: {seen:?}"
+            );
+            if r % 2 == 0 {
+                let g = gathered.as_ref().expect("pair root");
+                assert_eq!(g, &vec![color * 100 + r as u64, color * 100 + r as u64 + 1]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            assert_eq!(*world_sum, 8);
+        }
+    }
+
+    #[test]
+    fn group_scatter_delivers_one_piece_each() {
+        let out = run_spmd(6, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+            let mut g = Group::split(ctx, &colors);
+            let values = (g.rank() == 1).then(|| {
+                (0..g.len() as u64)
+                    .map(|i| vec![i * 10 + ctx.rank() as u64 % 2])
+                    .collect()
+            });
+            g.scatter(ctx, 1, values)
+        });
+        for (r, v) in out.results.iter().enumerate() {
+            assert_eq!(v, &vec![(r as u64 / 2) * 10 + r as u64 % 2], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn group_scatter_and_all_to_all_degenerate_cases() {
+        // Singleton groups must complete without any messages; empty
+        // payloads must keep their slots.
+        let out = run_spmd(3, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..3).collect(); // everyone alone
+            let mut g = Group::split(ctx, &colors);
+            let s: Vec<u64> = g.scatter(ctx, 0, Some(vec![vec![ctx.rank() as u64]]));
+            let a = g.all_to_all(ctx, vec![Vec::<u64>::new()]);
+            (s, a)
+        });
+        for (r, (s, a)) in out.results.iter().enumerate() {
+            assert_eq!(s, &vec![r as u64]);
+            assert_eq!(a, &vec![Vec::<u64>::new()]);
+        }
+        assert_eq!(out.stats.total_msgs(), 0);
+    }
+
+    #[test]
+    fn group_all_to_all_transposes_within_the_group() {
+        let out = run_spmd(7, MachineModel::ibm_sp(), |ctx| {
+            // Odd ranks form the group; evens sit out entirely.
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+            if ctx.rank() % 2 == 1 {
+                let mut g = Group::split(ctx, &colors);
+                let items: Vec<(u64, u64)> =
+                    (0..g.len() as u64).map(|d| (g.rank() as u64, d)).collect();
+                Some(g.all_to_all(ctx, items))
+            } else {
+                None
+            }
+        });
+        for (r, got) in out.results.iter().enumerate() {
+            if r % 2 == 1 {
+                let got = got.as_ref().expect("group member");
+                for (s, &(from, to)) in got.iter().enumerate() {
+                    assert_eq!(from, s as u64, "slot s holds member s's item");
+                    assert_eq!(to, (r / 2) as u64, "and it was addressed to me");
+                }
+            } else {
+                assert!(got.is_none());
+            }
         }
     }
 

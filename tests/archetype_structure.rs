@@ -42,13 +42,45 @@ fn every_one_deep_application_has_split_solve_merge() {
 
 #[test]
 fn archetype_metadata_is_exposed() {
-    use parallel_archetypes::core::archetype::{MESH_SPECTRAL, ONE_DEEP_DC};
+    use parallel_archetypes::core::archetype::{MESH_SPECTRAL, ONE_DEEP_DC, RECURSIVE_DC};
     assert_eq!(ONE_DEEP_DC.name, "one-deep divide-and-conquer");
     assert_eq!(MESH_SPECTRAL.name, "mesh-spectral");
     assert!(MESH_SPECTRAL
         .communication
         .iter()
         .any(|c| c.contains("boundary")));
+    assert_eq!(RECURSIVE_DC.name, "recursive divide-and-conquer");
+    assert!(RECURSIVE_DC
+        .communication
+        .iter()
+        .any(|c| c.contains("Group::split")));
+}
+
+#[test]
+fn recursive_dc_trace_is_preorder_over_recursive_dc_phases() {
+    use parallel_archetypes::core::archetype::RECURSIVE_DC;
+    use parallel_archetypes::dc::{run_shared_recursive, CutoffPolicy, RecursiveMergesort};
+    use PhaseKind::{Merge, Recurse, Solve};
+
+    let t = PhaseTrace::new();
+    run_shared_recursive(
+        &RecursiveMergesort::<i64>::new(),
+        (0..64i64).rev().collect(),
+        &CutoffPolicy::exact_depth(2, 2),
+        ExecutionMode::Sequential,
+        Some(&t),
+    );
+    // Depth-2 binary recursion in deterministic preorder.
+    assert!(
+        t.matches(&[Recurse, Recurse, Solve, Solve, Merge, Recurse, Solve, Solve, Merge, Merge])
+    );
+    // Every recorded phase kind belongs to the archetype's vocabulary.
+    for kind in t.kinds() {
+        assert!(
+            RECURSIVE_DC.phases.contains(&kind),
+            "{kind} is not a recursive-DC phase"
+        );
+    }
 }
 
 #[test]

@@ -211,6 +211,84 @@ fn airshed_equivalence() {
 }
 
 #[test]
+fn recursive_dc_runs_are_bit_identical() {
+    // Determinism of the recursive skeleton on nested groups: repeated
+    // runs of the same program produce bit-identical results, virtual
+    // clocks, statistics, and per-rank phase traces.
+    use parallel_archetypes::core::PhaseTrace;
+    use parallel_archetypes::dc::{run_spmd_recursive, CutoffPolicy, RecursiveMergesort};
+
+    let input = int_blocks(1, 3000, 17).pop().unwrap();
+    let policy = CutoffPolicy::new(2, 64, 10);
+    let run_once = || {
+        let inp = input.clone();
+        run_spmd(6, MachineModel::intel_delta(), move |ctx| {
+            let local = (ctx.rank() == 0).then(|| inp.clone());
+            let trace = PhaseTrace::new();
+            let result = run_spmd_recursive(
+                &RecursiveMergesort::<i64>::new(),
+                ctx,
+                local,
+                &policy,
+                Some(&trace),
+            );
+            (result, trace.kinds(), ctx.stats())
+        })
+    };
+    let a = run_once();
+    let b = run_once();
+    for r in 0..6 {
+        let (res_a, trace_a, stats_a) = &a.results[r];
+        let (res_b, trace_b, stats_b) = &b.results[r];
+        assert_eq!(res_a, res_b, "rank {r} results");
+        assert_eq!(trace_a, trace_b, "rank {r} phase trace");
+        assert_eq!(stats_a.msgs_sent, stats_b.msgs_sent, "rank {r} messages");
+        assert_eq!(stats_a.bytes_sent, stats_b.bytes_sent, "rank {r} bytes");
+        assert!(
+            a.rank_times[r].to_bits() == b.rank_times[r].to_bits(),
+            "rank {r} clocks must be bit-identical"
+        );
+    }
+    assert_eq!(
+        a.elapsed_virtual.to_bits(),
+        b.elapsed_virtual.to_bits(),
+        "elapsed virtual time must be bit-identical"
+    );
+    // And the answer is right.
+    let reference = sequential_mergesort(input.clone());
+    assert_eq!(a.results[0].0.as_ref().unwrap(), &reference);
+}
+
+#[test]
+fn recursive_dc_result_is_machine_model_invariant() {
+    // The machine model changes clocks and the model-derived cutoff, but
+    // never the result.
+    use parallel_archetypes::dc::perfmodel::recursion_policy;
+    use parallel_archetypes::dc::{run_spmd_recursive, RecursiveMergesort};
+
+    let input = int_blocks(1, 4000, 5).pop().unwrap();
+    let reference = sequential_mergesort(input.clone());
+    for model in [
+        MachineModel::cray_t3d(),
+        MachineModel::ibm_sp(),
+        MachineModel::workstation_network(),
+    ] {
+        let policy = recursion_policy(&model, 2, 8);
+        let inp = input.clone();
+        let out = run_spmd(8, model, move |ctx| {
+            let local = (ctx.rank() == 0).then(|| inp.clone());
+            run_spmd_recursive(&RecursiveMergesort::<i64>::new(), ctx, local, &policy, None)
+        });
+        assert_eq!(
+            out.results[0].as_ref().unwrap(),
+            &reference,
+            "{}",
+            model.name
+        );
+    }
+}
+
+#[test]
 fn virtual_time_is_machine_dependent_but_results_are_not() {
     let input = int_blocks(4, 500, 3);
     let run_on = |model: MachineModel| {
