@@ -1,0 +1,78 @@
+//! Wall-clock benches of the pipeline archetype: skeleton overhead on a
+//! trivial stream, and the two streaming applications at bench-sized
+//! configurations. Virtual-time *scaling* is tracked separately by the
+//! `pipeline_scaling` binary (`BENCH_pipeline.json`); these measure the
+//! host cost of running the skeleton itself — the credit protocol, the
+//! round-robin split/merge, and the in-order fold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archetype_mp::{run_spmd, MachineModel};
+use archetype_pipeline::apps::{ImageChain, TopKStream};
+use archetype_pipeline::{run_pipeline, Pipeline, PipelineConfig, Stage};
+
+/// A stream of trivial items through trivial stages: measures pure
+/// protocol overhead (credits, EOS, sequencing) rather than work.
+struct Trivial(u64);
+struct Inc;
+impl Stage<u64> for Inc {
+    fn transform(&self, _seq: u64, item: u64) -> u64 {
+        item + 1
+    }
+}
+impl Pipeline for Trivial {
+    type Item = u64;
+    type Out = u64;
+    fn ingest(&self, seq: u64) -> Option<u64> {
+        (seq < self.0).then_some(seq)
+    }
+    fn stages(&self) -> Vec<&dyn Stage<u64>> {
+        vec![&Inc, &Inc, &Inc]
+    }
+    fn out_identity(&self) -> u64 {
+        0
+    }
+    fn emit(&self, acc: u64, _seq: u64, item: u64) -> u64 {
+        acc + item
+    }
+}
+
+fn bench_skeleton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_skeleton");
+    g.sample_size(20);
+    let model = MachineModel::zero_comm();
+    g.bench_function("trivial_1k_items_8_ranks", |b| {
+        b.iter(|| {
+            run_spmd(8, model, |ctx| {
+                run_pipeline(&Trivial(1000), ctx, PipelineConfig::default()).0
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_apps");
+    g.sample_size(10);
+    let model = MachineModel::ibm_sp();
+    g.bench_function("image_chain_96x64_8_ranks", |b| {
+        b.iter(|| {
+            let chain = ImageChain::new(96, 64, 16, 8);
+            run_spmd(8, model, move |ctx| {
+                run_pipeline(&chain, ctx, PipelineConfig::default()).0
+            })
+        })
+    });
+    g.bench_function("topk_64_chunks_8_ranks", |b| {
+        b.iter(|| {
+            let stream = TopKStream::new(64, 128, 16, 64, 3.0);
+            run_spmd(8, model, move |ctx| {
+                run_pipeline(&stream, ctx, PipelineConfig::default()).0
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_skeleton, bench_apps);
+criterion_main!(benches);

@@ -45,6 +45,16 @@ pub enum PhaseKind {
     /// Task-farm: distributed termination detection (the wave that proves
     /// global quiescence) and the final reduction.
     Terminate,
+    /// Pipeline: produce the input stream, one item at a time.
+    Ingest,
+    /// Pipeline: one stage (or fused segment of stages) of the transform
+    /// chain, applied to every stream item in sequence order.
+    Transform,
+    /// Pipeline: end-of-stream propagation — the EOS markers that flush
+    /// every stage and reclaim outstanding flow-control credits.
+    Drain,
+    /// Pipeline: the in-order fold of final items into the output.
+    Emit,
 }
 
 impl std::fmt::Display for PhaseKind {
@@ -64,6 +74,10 @@ impl std::fmt::Display for PhaseKind {
             PhaseKind::Work => "work",
             PhaseKind::Steal => "steal",
             PhaseKind::Terminate => "terminate",
+            PhaseKind::Ingest => "ingest",
+            PhaseKind::Transform => "transform",
+            PhaseKind::Drain => "drain",
+            PhaseKind::Emit => "emit",
         };
         f.write_str(s)
     }
@@ -88,9 +102,162 @@ impl Phase {
     }
 }
 
-/// Static description of an archetype: its name and characteristic phase
-/// vocabulary. Used in documentation output and by `describe()` helpers on
-/// the application types.
+/// A grammar over [`PhaseKind`] sequences: the machine-checkable shape of
+/// an archetype's phase structure.
+///
+/// Every [`ArchetypeInfo`] declares one; `tests/conformance.rs` asserts
+/// that every [`crate::PhaseTrace`] a skeleton emits is *accepted* by its
+/// archetype's grammar — turning the metadata into an enforced contract
+/// rather than documentation. Patterns are ordinary regular operators
+/// plus [`PhasePattern::Tree`], the Dyck-style balanced pattern that a
+/// preorder recursion trace (recursive divide-and-conquer) requires and
+/// regular operators cannot express.
+///
+/// ```
+/// use archetype_core::archetype::{PhaseKind, PhasePattern};
+/// use PhaseKind::{Merge, Solve, Split};
+///
+/// const G: PhasePattern = PhasePattern::Seq(&[
+///     PhasePattern::Kind(Split),
+///     PhasePattern::Plus(&PhasePattern::Kind(Solve)),
+///     PhasePattern::Kind(Merge),
+/// ]);
+/// assert!(G.matches(&[Split, Solve, Solve, Merge]));
+/// assert!(!G.matches(&[Split, Merge]));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub enum PhasePattern {
+    /// Exactly one phase of this kind.
+    Kind(PhaseKind),
+    /// Exactly one phase, of any of these kinds.
+    AnyOf(&'static [PhaseKind]),
+    /// Each sub-pattern in order.
+    Seq(&'static [PhasePattern]),
+    /// Zero or more repetitions.
+    Star(&'static PhasePattern),
+    /// One or more repetitions.
+    Plus(&'static PhasePattern),
+    /// Zero or one occurrence.
+    Opt(&'static PhasePattern),
+    /// A preorder recursion-tree trace: `T := leaf | open T+ close`.
+    Tree {
+        /// Phase recorded on entering an internal node.
+        open: PhaseKind,
+        /// Phase recorded at a leaf (the sequential cutoff).
+        leaf: PhaseKind,
+        /// Phase recorded when an internal node combines its children.
+        close: PhaseKind,
+    },
+}
+
+impl PhasePattern {
+    /// True if `kinds` as a whole is a sentence of this grammar.
+    pub fn matches(&self, kinds: &[PhaseKind]) -> bool {
+        self.ends(kinds, 0).contains(&kinds.len())
+    }
+
+    /// All positions a match starting at `pos` can end at (deduplicated,
+    /// ascending). Traces are short, so plain backtracking is plenty.
+    fn ends(&self, kinds: &[PhaseKind], pos: usize) -> Vec<usize> {
+        let mut out = match self {
+            PhasePattern::Kind(k) => {
+                if kinds.get(pos) == Some(k) {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            PhasePattern::AnyOf(ks) => match kinds.get(pos) {
+                Some(k) if ks.contains(k) => vec![pos + 1],
+                _ => vec![],
+            },
+            PhasePattern::Seq(parts) => {
+                let mut frontier = vec![pos];
+                for part in *parts {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        next.extend(part.ends(kinds, p));
+                    }
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            }
+            PhasePattern::Star(inner) => {
+                let mut reach = vec![pos];
+                let mut frontier = vec![pos];
+                while !frontier.is_empty() {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        for e in inner.ends(kinds, p) {
+                            // Only strictly advancing repetitions, so a
+                            // nullable inner pattern cannot loop forever.
+                            if e > p && !reach.contains(&e) {
+                                reach.push(e);
+                                next.push(e);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                reach
+            }
+            PhasePattern::Plus(inner) => {
+                let mut out = Vec::new();
+                for first in inner.ends(kinds, pos) {
+                    out.extend(PhasePattern::Star(inner).ends(kinds, first));
+                }
+                out
+            }
+            PhasePattern::Opt(inner) => {
+                let mut out = vec![pos];
+                out.extend(inner.ends(kinds, pos));
+                out
+            }
+            PhasePattern::Tree { open, leaf, close } => {
+                match Self::tree_end(kinds, pos, *open, *leaf, *close) {
+                    Some(e) => vec![e],
+                    None => vec![],
+                }
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Deterministic recursive-descent parse of one tree starting at
+    /// `pos`; returns the position after it.
+    fn tree_end(
+        kinds: &[PhaseKind],
+        pos: usize,
+        open: PhaseKind,
+        leaf: PhaseKind,
+        close: PhaseKind,
+    ) -> Option<usize> {
+        match kinds.get(pos)? {
+            k if *k == leaf => Some(pos + 1),
+            k if *k == open => {
+                let mut p = Self::tree_end(kinds, pos + 1, open, leaf, close)?;
+                while let Some(next) = kinds.get(p) {
+                    if *next == close {
+                        return Some(p + 1);
+                    }
+                    p = Self::tree_end(kinds, p, open, leaf, close)?;
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Static description of an archetype: its name, characteristic phase
+/// vocabulary, and phase grammar. Used in documentation output, by
+/// `describe()` helpers on the application types, and by the conformance
+/// suite that grammar-checks emitted phase traces.
 #[derive(Clone, Debug)]
 pub struct ArchetypeInfo {
     /// Archetype name, e.g. `"one-deep divide-and-conquer"`.
@@ -99,6 +266,8 @@ pub struct ArchetypeInfo {
     pub phases: &'static [PhaseKind],
     /// The communication operations its dataflow pattern requires.
     pub communication: &'static [&'static str],
+    /// The grammar every emitted phase trace must satisfy.
+    pub grammar: PhasePattern,
 }
 
 /// The one-deep divide-and-conquer archetype (paper §2).
@@ -110,6 +279,11 @@ pub const ONE_DEEP_DC: ArchetypeInfo = ArchetypeInfo {
         "gather+broadcast or all-to-all before sequential parameter computation",
         "broadcast after parameter computation",
     ],
+    grammar: PhasePattern::Seq(&[
+        PhasePattern::Kind(PhaseKind::Split),
+        PhasePattern::Kind(PhaseKind::Solve),
+        PhasePattern::Kind(PhaseKind::Merge),
+    ]),
 };
 
 /// The mesh-spectral archetype (paper §3).
@@ -128,6 +302,17 @@ pub const MESH_SPECTRAL: ArchetypeInfo = ArchetypeInfo {
         "broadcast of global data",
         "reduction (recursive doubling / all-to-one / one-to-all)",
     ],
+    // Distribute, then any number of archetype-inserted-communication /
+    // grid-row-col op / reduction rounds, then collect.
+    grammar: PhasePattern::Seq(&[
+        PhasePattern::Kind(PhaseKind::Io),
+        PhasePattern::Star(&PhasePattern::Seq(&[
+            PhasePattern::Opt(&PhasePattern::Kind(PhaseKind::Communication)),
+            PhasePattern::AnyOf(&[PhaseKind::GridOp, PhaseKind::RowOp, PhaseKind::ColOp]),
+            PhasePattern::Opt(&PhasePattern::Kind(PhaseKind::Reduction)),
+        ])),
+        PhasePattern::Kind(PhaseKind::Io),
+    ]),
 };
 
 /// The general recursive divide-and-conquer archetype: divide into `k`
@@ -146,6 +331,13 @@ pub const RECURSIVE_DC: ArchetypeInfo = ArchetypeInfo {
         "group gather of subsolutions to the group root (combining tree)",
         "nested Group::split subcommunicators with disjoint tag namespaces",
     ],
+    // A preorder recursion-tree trace; a rank's root-path trace (one
+    // subtree per level) is the k=1 special case.
+    grammar: PhasePattern::Tree {
+        open: PhaseKind::Recurse,
+        leaf: PhaseKind::Solve,
+        close: PhaseKind::Merge,
+    },
 };
 
 /// The task-farm (master–worker) archetype: an irregular pool of
@@ -169,6 +361,46 @@ pub const TASK_FARM: ArchetypeInfo = ArchetypeInfo {
         "termination-detection wave (global quiescence proof)",
         "final reduction of per-worker partial results",
     ],
+    // Seed, then one Work (optionally followed by a steal exchange — the
+    // hypercube partner may be out of range on non-power-of-two runs) per
+    // round, then the termination wave's verdict.
+    grammar: PhasePattern::Seq(&[
+        PhasePattern::Kind(PhaseKind::Seed),
+        PhasePattern::Plus(&PhasePattern::Seq(&[
+            PhasePattern::Kind(PhaseKind::Work),
+            PhasePattern::Opt(&PhasePattern::Kind(PhaseKind::Steal)),
+        ])),
+        PhasePattern::Kind(PhaseKind::Terminate),
+    ]),
+};
+
+/// The pipeline (stream) archetype: a linear chain of stages applied to
+/// every item of an ordered stream, run with bounded credit-based flow
+/// control and round-robin stage replication. The paper's future-work
+/// list (§7) asks for archetypes beyond the two deterministic ones; the
+/// pipeline covers the streaming family (filter chains, online
+/// aggregation) while keeping the workspace's determinism guarantee via
+/// in-order delivery at the emit stage.
+pub const PIPELINE: ArchetypeInfo = ArchetypeInfo {
+    name: "pipeline",
+    phases: &[
+        PhaseKind::Ingest,
+        PhaseKind::Transform,
+        PhaseKind::Drain,
+        PhaseKind::Emit,
+    ],
+    communication: &[
+        "item stream between consecutive stages (round-robin split/merge across replicas)",
+        "credit-return messages bounding in-flight items to O(depth x window)",
+        "end-of-stream markers flushing every stage (drain)",
+        "broadcast of the folded output and reduction of statistics",
+    ],
+    grammar: PhasePattern::Seq(&[
+        PhasePattern::Kind(PhaseKind::Ingest),
+        PhasePattern::Star(&PhasePattern::Kind(PhaseKind::Transform)),
+        PhasePattern::Kind(PhaseKind::Drain),
+        PhasePattern::Kind(PhaseKind::Emit),
+    ]),
 };
 
 #[cfg(test)]
@@ -212,5 +444,89 @@ mod tests {
         let p = Phase::new(PhaseKind::Solve, "local sort");
         assert_eq!(p.kind, PhaseKind::Solve);
         assert_eq!(p.label, "local sort");
+    }
+
+    #[test]
+    fn pipeline_metadata_is_consistent() {
+        assert_eq!(PIPELINE.name, "pipeline");
+        assert!(PIPELINE.phases.contains(&PhaseKind::Ingest));
+        assert!(PIPELINE.phases.contains(&PhaseKind::Drain));
+        assert!(!PIPELINE.phases.contains(&PhaseKind::Work));
+        assert!(PIPELINE.communication.iter().any(|c| c.contains("credit")));
+        assert_eq!(PhaseKind::Ingest.to_string(), "ingest");
+        assert_eq!(PhaseKind::Drain.to_string(), "drain");
+    }
+
+    #[test]
+    fn one_deep_grammar_accepts_exactly_split_solve_merge() {
+        use PhaseKind::{Merge, Solve, Split};
+        let g = &ONE_DEEP_DC.grammar;
+        assert!(g.matches(&[Split, Solve, Merge]));
+        assert!(!g.matches(&[Split, Merge]));
+        assert!(!g.matches(&[Split, Solve, Merge, Merge]));
+        assert!(!g.matches(&[]));
+    }
+
+    #[test]
+    fn recursive_grammar_accepts_preorder_trees_only() {
+        use PhaseKind::{Merge, Recurse, Solve};
+        let g = &RECURSIVE_DC.grammar;
+        assert!(g.matches(&[Solve]));
+        assert!(g.matches(&[Recurse, Solve, Solve, Merge]));
+        // The depth-2 binary tree from the dc skeleton's own test.
+        assert!(g.matches(&[
+            Recurse, Recurse, Solve, Solve, Merge, Recurse, Solve, Solve, Merge, Merge
+        ]));
+        // A rank's root path: one subtree per level.
+        assert!(g.matches(&[Recurse, Recurse, Solve, Merge, Merge]));
+        // Unbalanced or empty nodes are rejected.
+        assert!(!g.matches(&[Recurse, Solve, Solve]));
+        assert!(!g.matches(&[Recurse, Merge]));
+        assert!(!g.matches(&[Solve, Solve]));
+    }
+
+    #[test]
+    fn farm_grammar_requires_seed_rounds_terminate() {
+        use PhaseKind::{Seed, Steal, Terminate, Work};
+        let g = &TASK_FARM.grammar;
+        assert!(g.matches(&[Seed, Work, Terminate]));
+        assert!(g.matches(&[Seed, Work, Steal, Work, Steal, Terminate]));
+        assert!(g.matches(&[Seed, Work, Work, Steal, Terminate]));
+        assert!(!g.matches(&[Seed, Terminate]));
+        assert!(!g.matches(&[Work, Steal, Terminate]));
+        assert!(!g.matches(&[Seed, Steal, Work, Terminate]));
+    }
+
+    #[test]
+    fn mesh_grammar_brackets_op_rounds_with_io() {
+        use PhaseKind::{ColOp, Communication, GridOp, Io, Reduction, RowOp};
+        let g = &MESH_SPECTRAL.grammar;
+        assert!(g.matches(&[Io, Io]));
+        assert!(g.matches(&[Io, Communication, GridOp, Reduction, GridOp, Io]));
+        assert!(g.matches(&[Io, RowOp, ColOp, Reduction, Io]));
+        assert!(!g.matches(&[GridOp, Io]));
+        assert!(!g.matches(&[Io, Reduction, Io]));
+    }
+
+    #[test]
+    fn pipeline_grammar_is_ingest_transforms_drain_emit() {
+        use PhaseKind::{Drain, Emit, Ingest, Transform};
+        let g = &PIPELINE.grammar;
+        assert!(g.matches(&[Ingest, Drain, Emit]));
+        assert!(g.matches(&[Ingest, Transform, Transform, Transform, Drain, Emit]));
+        assert!(!g.matches(&[Ingest, Transform, Emit]));
+        assert!(!g.matches(&[Transform, Drain, Emit]));
+        assert!(!g.matches(&[Ingest, Drain, Emit, Emit]));
+    }
+
+    #[test]
+    fn star_of_nullable_pattern_terminates() {
+        use PhaseKind::{GridOp, Io};
+        // Star over an Opt could loop forever without the strict-advance
+        // guard; it must just accept.
+        const G: PhasePattern = PhasePattern::Star(&PhasePattern::Opt(&PhasePattern::Kind(GridOp)));
+        assert!(G.matches(&[]));
+        assert!(G.matches(&[GridOp, GridOp]));
+        assert!(!G.matches(&[Io]));
     }
 }

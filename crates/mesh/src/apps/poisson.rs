@@ -17,7 +17,7 @@
 //! max-reduction is exact, the two versions agree **bitwise** and iterate
 //! the same number of times — the semantics-preservation property.
 
-use archetype_core::{parfor_map, parfor_reduce, ExecutionMode};
+use archetype_core::{parfor_map, parfor_reduce, ExecutionMode, PhaseKind, PhaseTrace};
 use archetype_mp::{Ctx, ProcessGrid2};
 use archetype_numerics::stencil::jacobi_update;
 
@@ -127,6 +127,20 @@ pub fn poisson_shared(spec: &PoissonSpec, mode: ExecutionMode) -> PoissonResult 
 /// Version 2: SPMD Jacobi iteration over an `NPX × NPY` block distribution
 /// (Figure 14). Returns the gathered solution on rank 0.
 pub fn poisson_spmd(ctx: &mut Ctx, spec: &PoissonSpec, pgrid: ProcessGrid2) -> PoissonResult {
+    poisson_spmd_traced(ctx, spec, pgrid, None)
+}
+
+/// [`poisson_spmd`] with phase tracing: rank 0 records the mesh-spectral
+/// phase sequence — distribute (Io), then per iteration the
+/// archetype-inserted ghost exchange (Communication), the Jacobi sweep
+/// (GridOp), and the `diffmax` reduction, then the gather (Io) — so
+/// tests can grammar-check the archetype's pattern.
+pub fn poisson_spmd_traced(
+    ctx: &mut Ctx,
+    spec: &PoissonSpec,
+    pgrid: ProcessGrid2,
+    trace: Option<&PhaseTrace>,
+) -> PoissonResult {
     assert_eq!(
         pgrid.len(),
         ctx.nprocs(),
@@ -134,7 +148,15 @@ pub fn poisson_spmd(ctx: &mut Ctx, spec: &PoissonSpec, pgrid: ProcessGrid2) -> P
     );
     let h2 = spec.h() * spec.h();
     let rank = ctx.rank();
+    let record = |kind: PhaseKind, label: &str| {
+        if rank == 0 {
+            if let Some(t) = trace {
+                t.record(kind, label);
+            }
+        }
+    };
 
+    record(PhaseKind::Io, "block-distribute rhs and initial grid");
     let mut uk = DistGrid2::from_global(rank, pgrid, spec.nx, spec.ny, 1, 0.0, |i, j| {
         spec.initial(i, j)
     });
@@ -149,7 +171,9 @@ pub fn poisson_spmd(ctx: &mut Ctx, spec: &PoissonSpec, pgrid: ProcessGrid2) -> P
 
     while *diffmax.get() > spec.tolerance && iters < spec.max_iters {
         // Satisfy the grid-op precondition: refresh the ghost boundary.
+        record(PhaseKind::Communication, "ghost boundary exchange");
         uk.exchange_ghosts(ctx);
+        record(PhaseKind::GridOp, "Jacobi sweep");
         // Grid op on the intersection of the local section and the global
         // interior; 6 flops per point in the model.
         let mut ukp = uk.clone();
@@ -179,11 +203,13 @@ pub fn poisson_spmd(ctx: &mut Ctx, spec: &PoissonSpec, pgrid: ProcessGrid2) -> P
             local_diffmax = 0.0;
         }
         // Reduction re-establishes copy consistency of diffmax.
+        record(PhaseKind::Reduction, "global max of local diffmax");
         diffmax.reduce_from(ctx, local_diffmax, f64::max);
         uk = ukp;
         iters += 1;
     }
 
+    record(PhaseKind::Io, "gather solution to rank 0");
     let grid = uk.gather_global(ctx);
     PoissonResult {
         grid,

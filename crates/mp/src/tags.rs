@@ -9,13 +9,27 @@
 //! | `1 << 63`       | world collectives ([`crate::collectives`])|
 //! | `1 << 62`       | group collectives ([`crate::Group`])      |
 //! | `1 << 61`       | farm protocol (this module)               |
+//! | `1 << 60` alone | pipeline protocol (this module)           |
 //! | rest            | free for application point-to-point use   |
+//!
+//! (A farm tag may have bit 60 set *inside* its kind field, but always
+//! together with bit 61, so the pipeline namespace — bit 60 with bits
+//! 61–63 clear — never collides with it.)
 //!
 //! The farm namespace carries the task-farm archetype's message
 //! kinds, each versioned by the farm's round number so that back-to-back
 //! rounds — and even two farms run one after the other in the same SPMD
 //! body, provided they execute in lockstep — cannot confuse each other's
 //! traffic.
+//!
+//! The pipeline namespace carries the pipeline archetype's stream. Its
+//! tags are versioned by *edge* (the producer level in the stage graph)
+//! rather than by round: all traffic on one edge flows between fixed
+//! (sender, receiver) pairs, and the substrate's per-(sender, tag) FIFO
+//! rule keeps consecutive pipelines in the same SPMD body ordered —
+//! every rank fully drains its role in one pipeline before touching the
+//! next, so a lagging consumer matches the earlier pipeline's messages
+//! first.
 
 use crate::ctx::Tag;
 
@@ -61,10 +75,74 @@ pub const fn farm_tag(kind: FarmTag, round: u64) -> Tag {
     FARM_TAG_BASE | (kind.code() << 59) | (round & ((1 << 59) - 1))
 }
 
+/// Base bit of the pipeline protocol's tag namespace.
+pub const PIPE_TAG_BASE: u64 = 1 << 60;
+
+/// The message kinds of the pipeline protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PipeTag {
+    /// A stream item (or the end-of-stream marker) travelling down one
+    /// edge of the stage graph.
+    Item,
+    /// A flow-control credit returned upstream after an item is consumed.
+    Credit,
+}
+
+impl PipeTag {
+    const fn code(self) -> u64 {
+        match self {
+            PipeTag::Item => 0,
+            PipeTag::Credit => 1,
+        }
+    }
+}
+
+/// The tag for pipeline message kind `kind` on edge `edge` (the producer
+/// level in the pipeline's stage graph: 0 leaving ingest, `l` leaving
+/// segment `l`).
+///
+/// ```
+/// use archetype_mp::tags::{pipe_tag, PipeTag, PIPE_TAG_BASE};
+/// let t = pipe_tag(PipeTag::Item, 2);
+/// assert_ne!(t, pipe_tag(PipeTag::Credit, 2)); // kinds are disjoint
+/// assert_ne!(t, pipe_tag(PipeTag::Item, 3)); // edges are disjoint
+/// assert_eq!(t & PIPE_TAG_BASE, PIPE_TAG_BASE); // inside the namespace
+/// assert_eq!(t >> 61, 0); // and outside every other namespace
+/// ```
+pub const fn pipe_tag(kind: PipeTag, edge: u64) -> Tag {
+    PIPE_TAG_BASE | (kind.code() << 59) | (edge & ((1 << 59) - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::COLLECTIVE_TAG_BASE;
+
+    #[test]
+    fn pipe_kinds_and_edges_never_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in [PipeTag::Item, PipeTag::Credit] {
+            for edge in [0u64, 1, 2, 3, 17, 1000] {
+                assert!(seen.insert(pipe_tag(kind, edge)));
+            }
+        }
+    }
+
+    #[test]
+    fn pipe_namespace_is_disjoint_from_all_others() {
+        let kinds = [FarmTag::StealRequest, FarmTag::StealReply, FarmTag::Wave];
+        for kind in kinds {
+            for round in [0u64, 1, (1 << 59) - 1] {
+                // Farm tags always carry bit 61; pipe tags never do.
+                assert_ne!(farm_tag(kind, round) & (1 << 61), 0);
+            }
+        }
+        let t = pipe_tag(PipeTag::Credit, 5);
+        assert_eq!(t & COLLECTIVE_TAG_BASE, 0, "not a world collective tag");
+        assert_eq!(t & (1 << 62), 0, "not a group collective tag");
+        assert_eq!(t & (1 << 61), 0, "not a farm tag");
+        assert_ne!(t & PIPE_TAG_BASE, 0);
+    }
 
     #[test]
     fn kinds_and_rounds_never_collide() {

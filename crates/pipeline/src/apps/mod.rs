@@ -1,0 +1,8 @@
+//! Pipeline applications: the streaming image-filter chain and the
+//! streaming top-k/percentile aggregator.
+
+pub mod imagechain;
+pub mod topk;
+
+pub use imagechain::{BlurStage, GradientStage, ImageChain, ImageSummary, ImageTile, QuantStage};
+pub use topk::{Digest, NormalizeStage, SampleChunk, TopKStream, TrimStage};

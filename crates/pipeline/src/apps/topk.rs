@@ -1,0 +1,307 @@
+//! Streaming top-k / percentile aggregator: online analytics over an
+//! unbounded-feeling sample stream.
+//!
+//! Chunks of heavy-tailed samples stream through a normalize stage
+//! (log-compress the tail) and a trim stage (drop samples beyond a
+//! cutoff), then fold — in stream order, O(k + buckets) memory — into a
+//! [`Digest`]: exact top-k, count, sum, and a fixed-bucket histogram
+//! from which percentiles are estimated. The aggregation never holds
+//! more than one chunk plus the digest, which is the point of running it
+//! as a bounded-stream pipeline rather than a gather-then-sort batch.
+
+use crate::skeleton::{Pipeline, Stage};
+use archetype_mp::Payload;
+
+/// One chunk of the sample stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleChunk {
+    /// Global index of the chunk's first sample.
+    pub first: u64,
+    /// The samples.
+    pub values: Vec<f64>,
+}
+
+impl Payload for SampleChunk {
+    fn size_bytes(&self) -> usize {
+        8 + self.values.len() * 8
+    }
+}
+
+/// Log-compress the heavy tail: `v → ln(1 + v)` (samples are
+/// non-negative by construction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NormalizeStage;
+
+impl Stage<SampleChunk> for NormalizeStage {
+    fn transform(&self, _seq: u64, mut chunk: SampleChunk) -> SampleChunk {
+        for v in &mut chunk.values {
+            *v = v.abs().ln_1p();
+        }
+        chunk
+    }
+
+    fn flops(&self, chunk: &SampleChunk) -> f64 {
+        chunk.values.len() as f64 * 12.0
+    }
+
+    fn name(&self) -> &'static str {
+        "normalize"
+    }
+}
+
+/// Drop samples at or beyond a cutoff (sensor saturation, say). Shrinks
+/// chunks in place; the stream stays a stream of chunks.
+#[derive(Clone, Copy, Debug)]
+pub struct TrimStage {
+    /// Samples `>= cutoff` are dropped.
+    pub cutoff: f64,
+}
+
+impl Stage<SampleChunk> for TrimStage {
+    fn transform(&self, _seq: u64, mut chunk: SampleChunk) -> SampleChunk {
+        chunk.values.retain(|&v| v < self.cutoff);
+        chunk
+    }
+
+    fn flops(&self, chunk: &SampleChunk) -> f64 {
+        chunk.values.len() as f64 * 2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "trim"
+    }
+}
+
+/// The streaming aggregate: exact top-k plus a histogram for percentile
+/// estimates, in O(k + buckets) memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Digest {
+    /// Samples folded (after trimming).
+    pub count: u64,
+    /// Sum of folded samples.
+    pub sum: f64,
+    /// The `k` largest samples, descending.
+    pub top: Vec<f64>,
+    /// Capacity of [`Digest::top`].
+    pub k: u64,
+    /// Histogram bucket counts over `[lo, hi)`; out-of-range samples
+    /// clamp to the edge buckets.
+    pub hist: Vec<u64>,
+    /// Histogram lower bound.
+    pub lo: f64,
+    /// Histogram upper bound.
+    pub hi: f64,
+}
+
+impl Payload for Digest {
+    fn size_bytes(&self) -> usize {
+        40 + self.top.len() * 8 + self.hist.len() * 8
+    }
+}
+
+impl Digest {
+    /// An empty digest with `k` top slots and `buckets` histogram
+    /// buckets over `[lo, hi)`.
+    pub fn new(k: usize, buckets: usize, lo: f64, hi: f64) -> Self {
+        assert!(buckets > 0 && hi > lo);
+        Digest {
+            count: 0,
+            sum: 0.0,
+            top: Vec::with_capacity(k),
+            k: k as u64,
+            hist: vec![0; buckets],
+            lo,
+            hi,
+        }
+    }
+
+    /// Fold one sample.
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        let b = ((v - self.lo) / (self.hi - self.lo) * self.hist.len() as f64)
+            .floor()
+            .clamp(0.0, (self.hist.len() - 1) as f64) as usize;
+        self.hist[b] += 1;
+        let pos = self
+            .top
+            .iter()
+            .position(|&t| v > t)
+            .unwrap_or(self.top.len());
+        if (pos as u64) < self.k {
+            self.top.insert(pos, v);
+            self.top.truncate(self.k as usize);
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`): the midpoint of the first
+    /// histogram bucket whose cumulative count reaches `q × count`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let need = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let width = (self.hi - self.lo) / self.hist.len() as f64;
+        for (b, &n) in self.hist.iter().enumerate() {
+            cum += n;
+            if cum >= need {
+                return self.lo + (b as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+
+    /// Mean of the folded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A streaming aggregation job over a synthetic heavy-tailed stream:
+/// `chunks` chunks of `chunk_len` exponential samples, normalized and
+/// trimmed, folded into a top-`k` + `buckets`-bucket [`Digest`].
+#[derive(Clone, Debug)]
+pub struct TopKStream {
+    /// Number of chunks in the stream.
+    pub chunks: u64,
+    /// Samples per chunk.
+    pub chunk_len: usize,
+    /// Top-k capacity.
+    pub k: usize,
+    /// Histogram buckets.
+    pub buckets: usize,
+    /// RNG stream seed.
+    pub seed: u64,
+    normalize: NormalizeStage,
+    trim: TrimStage,
+}
+
+impl TopKStream {
+    /// A stream of `chunks × chunk_len` samples with trim cutoff
+    /// `cutoff` (applied after log-compression).
+    pub fn new(chunks: u64, chunk_len: usize, k: usize, buckets: usize, cutoff: f64) -> Self {
+        TopKStream {
+            chunks,
+            chunk_len,
+            k,
+            buckets,
+            seed: 0x5eed,
+            normalize: NormalizeStage,
+            trim: TrimStage { cutoff },
+        }
+    }
+
+    fn sample(&self, global: u64) -> f64 {
+        // SplitMix64 over the sample index: deterministic, seekable.
+        let mut z = self
+            .seed
+            .wrapping_add(global.wrapping_mul(0x9e3779b97f4a7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // Exponential tail: most samples small, a few enormous.
+        -(1.0 - u).max(f64::MIN_POSITIVE).ln() * 10.0
+    }
+}
+
+impl Pipeline for TopKStream {
+    type Item = SampleChunk;
+    type Out = Digest;
+
+    fn ingest(&self, seq: u64) -> Option<SampleChunk> {
+        if seq >= self.chunks {
+            return None;
+        }
+        let first = seq * self.chunk_len as u64;
+        Some(SampleChunk {
+            first,
+            values: (0..self.chunk_len as u64)
+                .map(|i| self.sample(first + i))
+                .collect(),
+        })
+    }
+
+    fn ingest_flops(&self, item: &SampleChunk) -> f64 {
+        item.values.len() as f64 * 8.0
+    }
+
+    fn stages(&self) -> Vec<&dyn Stage<SampleChunk>> {
+        vec![&self.normalize, &self.trim]
+    }
+
+    fn out_identity(&self) -> Digest {
+        Digest::new(self.k, self.buckets, 0.0, self.trim.cutoff)
+    }
+
+    fn emit(&self, mut acc: Digest, _seq: u64, item: SampleChunk) -> Digest {
+        for &v in &item.values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    fn emit_flops(&self, item: &SampleChunk) -> f64 {
+        item.values.len() as f64 * (4.0 + self.k as f64 / 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::{run_pipeline, run_sequential, PipelineConfig};
+    use archetype_mp::{run_spmd, MachineModel};
+
+    #[test]
+    fn parallel_digests_match_the_sequential_oracle() {
+        let stream = TopKStream::new(40, 64, 8, 32, 4.0);
+        let (expected, chunks) = run_sequential(&stream);
+        assert_eq!(chunks, 40);
+        for p in [1usize, 2, 4, 7, 8] {
+            let s = stream.clone();
+            let out = run_spmd(p, MachineModel::cray_t3d(), move |ctx| {
+                run_pipeline(&s, ctx, PipelineConfig::default()).0
+            });
+            assert!(
+                out.results.iter().all(|d| *d == expected),
+                "p={p}: digest must be process-count invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_top_k_is_exact_and_descending() {
+        let mut d = Digest::new(3, 8, 0.0, 10.0);
+        for v in [1.0, 7.0, 3.0, 9.0, 2.0, 8.0] {
+            d.add(v);
+        }
+        assert_eq!(d.top, vec![9.0, 8.0, 7.0]);
+        assert_eq!(d.count, 6);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let stream = TopKStream::new(50, 32, 4, 64, 3.0);
+        let (digest, _) = run_sequential(&stream);
+        let p50 = digest.percentile(0.5);
+        let p99 = digest.percentile(0.99);
+        assert!(p50 < p99, "median below the 99th percentile");
+        assert!(p50 > 0.0 && p99 < 3.0, "estimates inside the trim range");
+        // The trim stage dropped the extreme tail.
+        assert!(digest.count < 50 * 32);
+        assert!(digest.top.iter().all(|&v| v < 3.0));
+    }
+
+    #[test]
+    fn trim_drops_only_out_of_range_samples() {
+        let chunk = SampleChunk {
+            first: 0,
+            values: vec![0.5, 4.9, 5.0, 5.1, 1.0],
+        };
+        let t = TrimStage { cutoff: 5.0 }.transform(0, chunk);
+        assert_eq!(t.values, vec![0.5, 4.9, 1.0]);
+    }
+}

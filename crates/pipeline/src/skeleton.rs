@@ -1,0 +1,971 @@
+//! The pipeline skeleton: traits, configuration, planner, and the SPMD
+//! driver with credit-based bounded streaming.
+//!
+//! See the crate-level docs for the archetype's shape. The derived
+//! program has one *level* per pipeline role — ingest, one level per
+//! stage segment, emit — connected by *edges*. On edge `l`:
+//!
+//! 1. **Items** flow downstream tagged `pipe_tag(Item, l)`, each
+//!    carrying its stream sequence number. An item with sequence `s`
+//!    is produced by replica `s mod q` of level `l` and consumed by
+//!    replica `s mod r` of level `l + 1` — the round-robin split/merge
+//!    that makes replication order-preserving without any reordering
+//!    buffer: every consumer performs blocking matched receives in
+//!    ascending sequence order, and per-(sender, tag) FIFO does the
+//!    rest.
+//! 2. **Credits** flow upstream tagged `pipe_tag(Credit, l)`. A
+//!    producer starts with [`PipelineConfig::window`] credits per
+//!    consumer, spends one per item, and blocks for a credit-return
+//!    when out; a consumer returns one credit per item *after*
+//!    forwarding it downstream, so backpressure from a slow stage
+//!    propagates all the way to ingest — in virtual time as well as in
+//!    bounded memory.
+//! 3. **End of stream** is an explicit marker sent once per (producer,
+//!    consumer) pair after the producer's last item; consumers drain one
+//!    from every producer, producers then reclaim their outstanding
+//!    credits — the Drain phase that leaves the network quiescent (the
+//!    runner's leak check verifies this).
+//!
+//! Deadlock freedom: the stage graph is a DAG and every consumer
+//! receives in ascending sequence order, so the globally smallest
+//! unconsumed sequence number is always receivable — a producer blocked
+//! on a credit is waiting on a consumer that can still make progress.
+//!
+//! Because the schedule depends only on sequence numbers and the plan
+//! (never on host timing), runs are deterministic: identical results,
+//! identical virtual clocks, identical statistics on every execution.
+
+use archetype_core::{PhaseKind, PhaseTrace};
+use archetype_mp::tags::{pipe_tag, PipeTag};
+use archetype_mp::{impl_fixed_size, Ctx, MachineModel, Payload};
+
+/// Modeled flop-equivalents charged per item by stages and hooks that do
+/// not override their cost methods.
+pub const DEFAULT_STAGE_FLOPS: f64 = 100.0;
+
+/// Modeled flop-equivalents per stage charged on every rank for probing
+/// stage costs and computing the placement plan.
+const PLAN_FLOPS_PER_STAGE: f64 = 50.0;
+
+/// One transform stage of a pipeline over items of type `T`.
+///
+/// Stages are pure item transformers: `transform` consumes an item and
+/// returns its successor in the chain. The [`Stage::flops`] cost hook
+/// prices an item for the virtual clock *and* for the placement planner;
+/// it must be computable from any stream item regardless of its position
+/// in the chain (cost may depend on the item's shape — e.g. pixel or
+/// sample counts, which stages preserve — not on values only a specific
+/// stage produces).
+pub trait Stage<T>: Sync {
+    /// Transform stream item number `seq`.
+    fn transform(&self, seq: u64, item: T) -> T;
+
+    /// Modeled cost of transforming `item`, in flop-equivalents.
+    fn flops(&self, _item: &T) -> f64 {
+        DEFAULT_STAGE_FLOPS
+    }
+
+    /// Stage name for plan labels and traces.
+    fn name(&self) -> &'static str {
+        "stage"
+    }
+}
+
+/// A pipeline computation: an ordered stream, a chain of [`Stage`]s, and
+/// an in-order fold of the final items.
+///
+/// The skeleton calls `ingest(0), ingest(1), …` until it returns `None`
+/// (on the ingest rank; other ranks call it only for the probe prefix —
+/// it must be deterministic, the usual SPMD contract), threads every item
+/// through `stages()` in order, and folds the fully transformed items
+/// into the output with `emit`, strictly in stream order.
+pub trait Pipeline: Sync {
+    /// One stream item. Items migrate between ranks, so they must report
+    /// their wire size ([`Payload`]).
+    type Item: Payload;
+    /// The folded output. Broadcast from the emit rank at the end, so
+    /// every rank returns the same value.
+    type Out: Payload + Clone + Sync;
+
+    /// Produce stream item `seq`, or `None` when the stream has ended
+    /// (after which all larger sequence numbers must be `None` too).
+    /// Must be deterministic.
+    fn ingest(&self, seq: u64) -> Option<Self::Item>;
+
+    /// Modeled cost of producing one item.
+    fn ingest_flops(&self, _item: &Self::Item) -> f64 {
+        DEFAULT_STAGE_FLOPS
+    }
+
+    /// The transform chain, in order. May be empty.
+    fn stages(&self) -> Vec<&dyn Stage<Self::Item>>;
+
+    /// The initial value of the output fold.
+    fn out_identity(&self) -> Self::Out;
+
+    /// Fold the fully transformed item `seq` into the output. Called in
+    /// strictly ascending `seq` order, so the fold may be
+    /// order-sensitive.
+    fn emit(&self, acc: Self::Out, seq: u64, item: Self::Item) -> Self::Out;
+
+    /// Modeled cost of folding one item.
+    fn emit_flops(&self, _item: &Self::Item) -> f64 {
+        DEFAULT_STAGE_FLOPS
+    }
+}
+
+/// Tuning knobs for [`run_pipeline`]. `PipelineConfig::default()` enables
+/// replication with a 4-item window — the archetype's intended shape.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Flow-control window: the maximum number of in-flight items per
+    /// (producer, consumer) pair on every edge. Must be at least 1.
+    pub window: usize,
+    /// Whether spare ranks replicate heavy stages. Disabling it keeps
+    /// the pipeline correct but leaves spare ranks idle.
+    pub replicate: bool,
+    /// Replication stops when a replica's per-item compute would fall
+    /// below `per-item messaging overhead / comm_fraction` — the
+    /// pipeline's version of the farm's target ratio of communication
+    /// to compute.
+    pub comm_fraction: f64,
+    /// How many stream items are probed (via [`Stage::flops`]) to price
+    /// the stages for the placement plan.
+    pub probe: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            window: 4,
+            replicate: true,
+            // Looser than the farm's 0.05 batching target: a pipeline
+            // replica's alternative is idling, so a replica is worth
+            // keeping until messaging reaches a tenth of its compute.
+            comm_fraction: 0.1,
+            probe: 8,
+        }
+    }
+}
+
+/// Deterministic, globally combined execution statistics of a pipeline
+/// run. Every rank returns the same values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Stream items ingested (equals items emitted: nothing is dropped).
+    pub items: u64,
+    /// Stage applications (`items × stages` when nothing is fused away).
+    pub transforms: u64,
+    /// Item messages sent across stream edges.
+    pub forwarded: u64,
+    /// Credit-return messages sent upstream.
+    pub credits: u64,
+    /// Item sends that had to block for a credit-return first — the
+    /// count of backpressure stalls.
+    pub stalls: u64,
+    /// Stage segments in the plan (contiguous runs of fused stages).
+    pub segments: u64,
+    /// Transform ranks used across all segments (replicas included).
+    pub replicas: u64,
+    /// Ranks left idle by the replication cutoff.
+    pub idle_ranks: u64,
+}
+
+impl_fixed_size!(PipelineStats);
+
+impl PipelineStats {
+    fn combine(a: PipelineStats, b: PipelineStats) -> PipelineStats {
+        PipelineStats {
+            items: a.items + b.items,
+            transforms: a.transforms + b.transforms,
+            forwarded: a.forwarded + b.forwarded,
+            credits: a.credits + b.credits,
+            stalls: a.stalls + b.stalls,
+            // Plan shape is computed identically on every rank; max
+            // recovers it past ranks that recorded nothing.
+            segments: a.segments.max(b.segments),
+            replicas: a.replicas.max(b.replicas),
+            idle_ranks: a.idle_ranks.max(b.idle_ranks),
+        }
+    }
+}
+
+/// One message of the stream protocol.
+enum StreamMsg<T> {
+    /// Stream item `seq` (4-byte kind + 8-byte sequence header on the
+    /// wire, plus the item itself).
+    Item(u64, T),
+    /// End of stream from this producer.
+    Eos,
+}
+
+impl<T: Payload> Payload for StreamMsg<T> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            StreamMsg::Item(_, t) => 12 + t.size_bytes(),
+            StreamMsg::Eos => 4,
+        }
+    }
+}
+
+/// One stage segment of the placement plan: stages `stages.0..stages.1`
+/// executed by `replicas` ranks starting at `first_rank`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Segment {
+    stages: (usize, usize),
+    first_rank: usize,
+    replicas: usize,
+}
+
+/// The placement plan: how stages map onto ranks. Computed identically
+/// on every rank from the probe prices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Plan {
+    segments: Vec<Segment>,
+    /// Total transform ranks in use.
+    transform_ranks: usize,
+    /// Ranks left idle by the replication cutoff.
+    idle: usize,
+    /// All stages run fused on the emit rank (the 2-rank layout).
+    fused_on_emit: bool,
+}
+
+impl Plan {
+    /// The per-level rank lists: `[ingest] ++ segments ++ [emit]`.
+    fn levels(&self, nprocs: usize) -> Vec<Vec<usize>> {
+        let mut levels = vec![vec![0]];
+        for seg in &self.segments {
+            levels.push((seg.first_rank..seg.first_rank + seg.replicas).collect());
+        }
+        levels.push(vec![nprocs - 1]);
+        levels
+    }
+}
+
+/// Contiguous partition of `costs` into `parts` segments minimizing the
+/// maximum segment cost (classic linear partition DP; stage counts are
+/// tiny). Returns the segment boundaries as `(start, end)` pairs.
+fn partition_stages(costs: &[f64], parts: usize) -> Vec<(usize, usize)> {
+    let n = costs.len();
+    let parts = parts.min(n).max(1);
+    let mut prefix = vec![0.0; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let seg_cost = |a: usize, b: usize| prefix[b] - prefix[a];
+    // best[k][i]: minimal max-cost partitioning of costs[..i] into k parts.
+    let mut best = vec![vec![f64::INFINITY; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    best[0][0] = 0.0;
+    for k in 1..=parts {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                let c = best[k - 1][j].max(seg_cost(j, i));
+                // Strict improvement keeps the earliest cut, so the plan
+                // is deterministic under cost ties.
+                if c < best[k][i] {
+                    best[k][i] = c;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+    let mut bounds = Vec::with_capacity(parts);
+    let mut i = n;
+    for k in (1..=parts).rev() {
+        let j = cut[k][i];
+        bounds.push((j, i));
+        i = j;
+    }
+    bounds.reverse();
+    bounds
+}
+
+/// Build the placement plan for `nprocs` ranks from per-stage per-item
+/// costs (seconds). `overhead_secs` is the per-item messaging overhead a
+/// replica cannot avoid (receive + item send + credit send).
+fn build_plan(
+    nprocs: usize,
+    stage_secs: &[f64],
+    overhead_secs: f64,
+    config: &PipelineConfig,
+) -> Plan {
+    let s_count = stage_secs.len();
+    let middle = nprocs.saturating_sub(2);
+    if nprocs < 2 || middle == 0 || s_count == 0 {
+        return Plan {
+            segments: Vec::new(),
+            transform_ranks: 0,
+            idle: 0,
+            fused_on_emit: nprocs >= 2 && s_count > 0,
+        };
+    }
+    let bounds = partition_stages(stage_secs, middle);
+    let seg_cost: Vec<f64> = bounds
+        .iter()
+        .map(|&(a, b)| stage_secs[a..b].iter().sum())
+        .collect();
+    let mut replicas = vec![1usize; bounds.len()];
+    let mut spare = middle - bounds.len();
+    let floor = overhead_secs / config.comm_fraction.max(1e-6);
+    let mut idle = 0usize;
+    while spare > 0 {
+        if !config.replicate {
+            idle = spare;
+            break;
+        }
+        // The bottleneck segment gets the next rank — unless even the
+        // bottleneck is already communication-bound, in which case more
+        // replicas only add messaging and the remaining ranks stay idle.
+        let (i, _) = seg_cost
+            .iter()
+            .zip(&replicas)
+            .map(|(&c, &r)| c / r as f64)
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |acc, (i, c)| {
+                if c > acc.1 {
+                    (i, c)
+                } else {
+                    acc
+                }
+            });
+        if seg_cost[i] / ((replicas[i] + 1) as f64) < floor {
+            idle = spare;
+            break;
+        }
+        replicas[i] += 1;
+        spare -= 1;
+    }
+    let mut segments = Vec::with_capacity(bounds.len());
+    let mut next_rank = 1;
+    for (&(a, b), &r) in bounds.iter().zip(&replicas) {
+        segments.push(Segment {
+            stages: (a, b),
+            first_rank: next_rank,
+            replicas: r,
+        });
+        next_rank += r;
+    }
+    Plan {
+        transform_ranks: next_rank - 1,
+        segments,
+        idle,
+        fused_on_emit: false,
+    }
+}
+
+/// The downstream half of one edge, owned by a producer: round-robin
+/// item sends under credit flow control, then EOS + credit reclaim.
+struct Outflow<T> {
+    edge: u64,
+    consumers: Vec<usize>,
+    credits: Vec<usize>,
+    sent: Vec<u64>,
+    drawn: Vec<u64>,
+    window: usize,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Payload> Outflow<T> {
+    fn new(edge: u64, consumers: Vec<usize>, window: usize) -> Self {
+        assert!(window >= 1, "flow-control window must be at least 1");
+        let n = consumers.len();
+        Outflow {
+            edge,
+            consumers,
+            credits: vec![window; n],
+            sent: vec![0; n],
+            drawn: vec![0; n],
+            window,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn send_item(&mut self, ctx: &mut Ctx, stats: &mut PipelineStats, seq: u64, item: T) {
+        let j = (seq % self.consumers.len() as u64) as usize;
+        if self.credits[j] == 0 {
+            stats.stalls += 1;
+            let () = ctx.recv(self.consumers[j], pipe_tag(PipeTag::Credit, self.edge));
+            self.drawn[j] += 1;
+            self.credits[j] += 1;
+        }
+        self.credits[j] -= 1;
+        self.sent[j] += 1;
+        stats.forwarded += 1;
+        ctx.send(
+            self.consumers[j],
+            pipe_tag(PipeTag::Item, self.edge),
+            StreamMsg::Item(seq, item),
+        );
+    }
+
+    /// Send EOS to every consumer, then reclaim the credits still in
+    /// flight so the network ends quiescent.
+    fn finish(mut self, ctx: &mut Ctx) {
+        // Credit conservation: window = live credits + in-flight ones.
+        debug_assert!(self
+            .credits
+            .iter()
+            .zip(&self.drawn)
+            .zip(&self.sent)
+            .all(|((&c, &d), &s)| c as u64 + (s - d) == self.window as u64));
+        for &c in &self.consumers {
+            ctx.send(c, pipe_tag(PipeTag::Item, self.edge), StreamMsg::<T>::Eos);
+        }
+        for j in 0..self.consumers.len() {
+            while self.drawn[j] < self.sent[j] {
+                let () = ctx.recv(self.consumers[j], pipe_tag(PipeTag::Credit, self.edge));
+                self.drawn[j] += 1;
+            }
+        }
+    }
+}
+
+/// The upstream half of one edge, owned by a consumer: blocking matched
+/// receives in ascending sequence order, credit returns, EOS drain.
+struct Inflow {
+    edge: u64,
+    producers: Vec<usize>,
+    done: Vec<bool>,
+    next_seq: u64,
+    step: u64,
+    last_from: usize,
+}
+
+impl Inflow {
+    fn new(edge: u64, producers: Vec<usize>, my_index: usize, consumers_total: usize) -> Self {
+        let n = producers.len();
+        Inflow {
+            edge,
+            producers,
+            done: vec![false; n],
+            next_seq: my_index as u64,
+            step: consumers_total as u64,
+            last_from: 0,
+        }
+    }
+
+    /// The next item of this consumer's round-robin share, or `None`
+    /// after draining EOS from every producer.
+    fn next<T: Payload>(&mut self, ctx: &mut Ctx) -> Option<(u64, T)> {
+        let q = self.producers.len() as u64;
+        let prod = (self.next_seq % q) as usize;
+        let msg: StreamMsg<T> = ctx.recv(self.producers[prod], pipe_tag(PipeTag::Item, self.edge));
+        match msg {
+            StreamMsg::Item(seq, item) => {
+                assert_eq!(
+                    seq, self.next_seq,
+                    "in-order delivery violated on edge {}",
+                    self.edge
+                );
+                self.last_from = prod;
+                self.next_seq += self.step;
+                Some((seq, item))
+            }
+            StreamMsg::Eos => {
+                // The stream is a prefix 0..n, so the first EOS implies
+                // no later sequence exists; the other producers owe
+                // exactly one EOS each.
+                self.done[prod] = true;
+                for i in 0..self.producers.len() {
+                    if !self.done[i] {
+                        let m: StreamMsg<T> =
+                            ctx.recv(self.producers[i], pipe_tag(PipeTag::Item, self.edge));
+                        assert!(
+                            matches!(m, StreamMsg::Eos),
+                            "every producer must close edge {} with EOS",
+                            self.edge
+                        );
+                        self.done[i] = true;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Return one credit for the last received item. Called *after* the
+    /// item has been forwarded downstream, so backpressure propagates.
+    fn credit(&self, ctx: &mut Ctx, stats: &mut PipelineStats) {
+        stats.credits += 1;
+        ctx.send(
+            self.producers[self.last_from],
+            pipe_tag(PipeTag::Credit, self.edge),
+            (),
+        );
+    }
+}
+
+/// Probe the first [`PipelineConfig::probe`] stream items and price each
+/// stage per item in modeled seconds.
+fn probe_stage_secs<P: Pipeline>(
+    pipe: &P,
+    stages: &[&dyn Stage<P::Item>],
+    model: &MachineModel,
+    probe: usize,
+) -> Vec<f64> {
+    let mut secs = vec![0.0; stages.len()];
+    let mut n = 0u32;
+    for seq in 0..probe as u64 {
+        let Some(item) = pipe.ingest(seq) else { break };
+        n += 1;
+        for (i, st) in stages.iter().enumerate() {
+            secs[i] += model.compute_time(st.flops(&item));
+        }
+    }
+    if n > 0 {
+        for s in &mut secs {
+            *s /= f64::from(n);
+        }
+    }
+    secs
+}
+
+/// Execute `pipe` as an SPMD pipeline on this rank. Must be called by
+/// every rank of the run (collectively, like the other archetype
+/// drivers). Returns the folded output and globally combined statistics
+/// — identical on every rank, and identical across repeated runs.
+pub fn run_pipeline<P: Pipeline>(
+    pipe: &P,
+    ctx: &mut Ctx,
+    config: PipelineConfig,
+) -> (P::Out, PipelineStats) {
+    run_pipeline_traced(pipe, ctx, config, None)
+}
+
+/// [`run_pipeline`] with phase tracing: rank 0 records the derived
+/// dataflow (Ingest, one Transform per segment, Drain, Emit) into
+/// `trace` so tests can grammar-check the archetype's pattern.
+pub fn run_pipeline_traced<P: Pipeline>(
+    pipe: &P,
+    ctx: &mut Ctx,
+    config: PipelineConfig,
+    trace: Option<&PhaseTrace>,
+) -> (P::Out, PipelineStats) {
+    let p = ctx.nprocs();
+    let me = ctx.rank();
+    let stages = pipe.stages();
+    let s_count = stages.len();
+    let model = *ctx.model();
+    let mut stats = PipelineStats::default();
+
+    // --- Plan: price stages on a probe prefix, place them on ranks. ------
+    let stage_secs = probe_stage_secs(pipe, &stages, &model, config.probe);
+    let overhead_secs = model.recv_overhead + 2.0 * model.send_overhead;
+    let plan = build_plan(p, &stage_secs, overhead_secs, &config);
+    ctx.charge_items(s_count + 1, PLAN_FLOPS_PER_STAGE);
+    if me == 0 {
+        stats.segments = plan.segments.len() as u64;
+        stats.replicas = plan.transform_ranks as u64;
+        stats.idle_ranks = plan.idle as u64;
+        if let Some(t) = trace {
+            t.record(PhaseKind::Ingest, "stream source");
+            if plan.fused_on_emit || (p == 1 && s_count > 0) {
+                t.record(PhaseKind::Transform, "all stages fused");
+            }
+            for seg in &plan.segments {
+                t.record(
+                    PhaseKind::Transform,
+                    format!(
+                        "stages {}..{} x{} replica(s)",
+                        seg.stages.0, seg.stages.1, seg.replicas
+                    ),
+                );
+            }
+            t.record(PhaseKind::Drain, "end-of-stream wave + credit reclaim");
+            t.record(PhaseKind::Emit, "in-order fold, output broadcast");
+        }
+    }
+
+    // --- Single rank: the whole chain runs message-free. ------------------
+    if p == 1 {
+        let mut acc = pipe.out_identity();
+        let mut seq = 0u64;
+        while let Some(mut item) = pipe.ingest(seq) {
+            ctx.charge_flops(pipe.ingest_flops(&item));
+            for st in &stages {
+                ctx.charge_flops(st.flops(&item));
+                item = st.transform(seq, item);
+                stats.transforms += 1;
+            }
+            ctx.charge_flops(pipe.emit_flops(&item));
+            acc = pipe.emit(acc, seq, item);
+            stats.items += 1;
+            seq += 1;
+        }
+        return (acc, stats);
+    }
+
+    let levels = plan.levels(p);
+    let my_level_pos = levels
+        .iter()
+        .enumerate()
+        .skip(1)
+        .take(levels.len() - 2)
+        .find_map(|(l, ranks)| ranks.iter().position(|&r| r == me).map(|i| (l, i)));
+
+    let mut acc: Option<P::Out> = None;
+    if me == 0 {
+        // --- Ingest: stream the source through edge 0. --------------------
+        let mut out: Outflow<P::Item> = Outflow::new(0, levels[1].clone(), config.window);
+        let mut seq = 0u64;
+        while let Some(item) = pipe.ingest(seq) {
+            ctx.charge_flops(pipe.ingest_flops(&item));
+            out.send_item(ctx, &mut stats, seq, item);
+            seq += 1;
+        }
+        out.finish(ctx);
+    } else if me == p - 1 {
+        // --- Emit: in-order fold of the last edge. ------------------------
+        let last = levels.len() - 1;
+        let mut inflow = Inflow::new((last - 1) as u64, levels[last - 1].clone(), 0, 1);
+        let mut folded = pipe.out_identity();
+        while let Some((seq, mut item)) = inflow.next::<P::Item>(ctx) {
+            if plan.fused_on_emit {
+                for st in &stages {
+                    ctx.charge_flops(st.flops(&item));
+                    item = st.transform(seq, item);
+                    stats.transforms += 1;
+                }
+            }
+            ctx.charge_flops(pipe.emit_flops(&item));
+            folded = pipe.emit(folded, seq, item);
+            stats.items += 1;
+            inflow.credit(ctx, &mut stats);
+        }
+        acc = Some(folded);
+    } else if let Some((level, replica)) = my_level_pos {
+        // --- Transform: one segment replica. ------------------------------
+        let seg = &plan.segments[level - 1];
+        let my_stages = &stages[seg.stages.0..seg.stages.1];
+        let mut inflow = Inflow::new(
+            (level - 1) as u64,
+            levels[level - 1].clone(),
+            replica,
+            levels[level].len(),
+        );
+        let mut out: Outflow<P::Item> =
+            Outflow::new(level as u64, levels[level + 1].clone(), config.window);
+        while let Some((seq, mut item)) = inflow.next::<P::Item>(ctx) {
+            for st in my_stages {
+                ctx.charge_flops(st.flops(&item));
+                item = st.transform(seq, item);
+                stats.transforms += 1;
+            }
+            out.send_item(ctx, &mut stats, seq, item);
+            inflow.credit(ctx, &mut stats);
+        }
+        out.finish(ctx);
+    }
+    // Ranks beyond the replication cutoff idle until the finale.
+
+    // --- Finale: share the output, combine the statistics. ----------------
+    let out = ctx.broadcast(p - 1, acc);
+    let stats = ctx.all_reduce(stats, PipelineStats::combine);
+    (out, stats)
+}
+
+/// Host-side sequential oracle: run the whole pipeline in one loop with
+/// no SPMD context and no cost accounting. Useful as the reference the
+/// equivalence tests compare every parallel run against.
+pub fn run_sequential<P: Pipeline>(pipe: &P) -> (P::Out, u64) {
+    let stages = pipe.stages();
+    let mut acc = pipe.out_identity();
+    let mut seq = 0u64;
+    while let Some(mut item) = pipe.ingest(seq) {
+        for st in &stages {
+            item = st.transform(seq, item);
+        }
+        acc = pipe.emit(acc, seq, item);
+        seq += 1;
+    }
+    (acc, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archetype_core::archetype::PIPELINE;
+    use archetype_mp::{run_spmd, MachineModel};
+
+    /// Sum of squares as a two-stage chain — the simplest pipeline.
+    struct Squares(u64);
+    struct Double;
+    struct SquareStage;
+    impl Stage<u64> for Double {
+        fn transform(&self, _seq: u64, item: u64) -> u64 {
+            item * 2
+        }
+        fn name(&self) -> &'static str {
+            "double"
+        }
+    }
+    impl Stage<u64> for SquareStage {
+        fn transform(&self, _seq: u64, item: u64) -> u64 {
+            item * item
+        }
+        fn name(&self) -> &'static str {
+            "square"
+        }
+    }
+    impl Pipeline for Squares {
+        type Item = u64;
+        type Out = u64;
+        fn ingest(&self, seq: u64) -> Option<u64> {
+            (seq < self.0).then_some(seq)
+        }
+        fn stages(&self) -> Vec<&dyn Stage<u64>> {
+            vec![&Double, &SquareStage]
+        }
+        fn out_identity(&self) -> u64 {
+            0
+        }
+        fn emit(&self, acc: u64, _seq: u64, item: u64) -> u64 {
+            acc + item
+        }
+    }
+
+    #[test]
+    fn matches_sequential_oracle_for_many_process_counts() {
+        let (expected, n) = run_sequential(&Squares(100));
+        assert_eq!(n, 100);
+        for p in 1..=8usize {
+            let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                run_pipeline(&Squares(100), ctx, PipelineConfig::default())
+            });
+            for (r, (sum, stats)) in out.results.iter().enumerate() {
+                assert_eq!(*sum, expected, "p={p} rank={r}");
+                assert_eq!(stats.items, 100, "p={p}");
+                assert_eq!(stats.transforms, 200, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_terminates_cleanly() {
+        for p in [1usize, 2, 4, 6] {
+            let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                run_pipeline(&Squares(0), ctx, PipelineConfig::default())
+            });
+            for (sum, stats) in &out.results {
+                assert_eq!(*sum, 0);
+                assert_eq!(stats.items, 0);
+                assert_eq!(stats.stalls, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_stream_works() {
+        let out = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+            run_pipeline(&Squares(1), ctx, PipelineConfig::default()).0
+        });
+        assert!(out.results.iter().all(|&s| s == 0));
+    }
+
+    /// Order-sensitive fold: concatenating `seq:item;` proves in-order
+    /// delivery at emit — any reordering changes the string.
+    struct Ordered(u64);
+    impl Pipeline for Ordered {
+        type Item = u64;
+        type Out = String;
+        fn ingest(&self, seq: u64) -> Option<u64> {
+            (seq < self.0).then_some(seq * 7 % 13)
+        }
+        fn stages(&self) -> Vec<&dyn Stage<u64>> {
+            vec![&Double, &SquareStage, &Double]
+        }
+        fn out_identity(&self) -> String {
+            String::new()
+        }
+        fn emit(&self, mut acc: String, seq: u64, item: u64) -> String {
+            use std::fmt::Write;
+            write!(acc, "{seq}:{item};").unwrap();
+            acc
+        }
+    }
+
+    #[test]
+    fn delivery_is_in_order_across_replicated_stages() {
+        let (expected, _) = run_sequential(&Ordered(60));
+        for p in [1usize, 2, 3, 5, 8] {
+            let out = run_spmd(p, MachineModel::cray_t3d(), |ctx| {
+                run_pipeline(&Ordered(60), ctx, PipelineConfig::default()).0
+            });
+            assert!(
+                out.results.iter().all(|s| *s == expected),
+                "p={p}: in-order fold must match the sequential oracle"
+            );
+        }
+    }
+
+    /// One stage far heavier than the rest: spare ranks must replicate it.
+    struct Lopsided(u64);
+    struct Heavy;
+    impl Stage<u64> for Heavy {
+        fn transform(&self, _seq: u64, item: u64) -> u64 {
+            item + 1
+        }
+        fn flops(&self, _item: &u64) -> f64 {
+            1_000_000.0
+        }
+        fn name(&self) -> &'static str {
+            "heavy"
+        }
+    }
+    impl Pipeline for Lopsided {
+        type Item = u64;
+        type Out = u64;
+        fn ingest(&self, seq: u64) -> Option<u64> {
+            (seq < self.0).then_some(seq)
+        }
+        fn stages(&self) -> Vec<&dyn Stage<u64>> {
+            vec![&Double, &Heavy]
+        }
+        fn out_identity(&self) -> u64 {
+            0
+        }
+        fn emit(&self, acc: u64, _seq: u64, item: u64) -> u64 {
+            acc + item
+        }
+    }
+
+    #[test]
+    fn heavy_stage_attracts_the_spare_ranks() {
+        let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            run_pipeline(&Lopsided(64), ctx, PipelineConfig::default())
+        });
+        let (_, stats) = &out.results[0];
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.replicas, 6, "all six middle ranks in use");
+        assert_eq!(stats.idle_ranks, 0);
+        // And replication buys virtual time against the unreplicated plan.
+        let flat = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            let config = PipelineConfig {
+                replicate: false,
+                ..PipelineConfig::default()
+            };
+            run_pipeline(&Lopsided(64), ctx, config)
+        });
+        assert!(flat.results[0].1.idle_ranks > 0);
+        assert_eq!(flat.results[0].0, out.results[0].0);
+        assert!(
+            out.elapsed_virtual < flat.elapsed_virtual,
+            "replicating the bottleneck must shorten the run: {} vs {}",
+            out.elapsed_virtual,
+            flat.elapsed_virtual
+        );
+    }
+
+    #[test]
+    fn results_are_invariant_to_window_replication_and_machine() {
+        let reference = run_sequential(&Ordered(40)).0;
+        for window in [1usize, 2, 16] {
+            for replicate in [false, true] {
+                for model in [
+                    MachineModel::ibm_sp(),
+                    MachineModel::workstation_network(),
+                    MachineModel::zero_comm(),
+                ] {
+                    let out = run_spmd(6, model, move |ctx| {
+                        let config = PipelineConfig {
+                            window,
+                            replicate,
+                            ..PipelineConfig::default()
+                        };
+                        run_pipeline(&Ordered(40), ctx, config).0
+                    });
+                    assert!(
+                        out.results.iter().all(|s| *s == reference),
+                        "window={window} replicate={replicate} model={}",
+                        model.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_window_stalls_the_producer() {
+        let out = run_spmd(3, MachineModel::ibm_sp(), |ctx| {
+            let config = PipelineConfig {
+                window: 2,
+                ..PipelineConfig::default()
+            };
+            run_pipeline(&Squares(50), ctx, config).1
+        });
+        // 50 items through a 2-credit window must block repeatedly.
+        assert!(out.results[0].stalls > 0);
+        assert_eq!(out.results[0].credits, out.results[0].forwarded);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            run_spmd(7, MachineModel::intel_delta(), |ctx| {
+                let (out, stats) = run_pipeline(&Ordered(30), ctx, PipelineConfig::default());
+                (out, stats, ctx.now())
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.rank_times, b.rank_times);
+    }
+
+    #[test]
+    fn stageless_pipeline_streams_straight_to_emit() {
+        struct NoStages;
+        impl Pipeline for NoStages {
+            type Item = u64;
+            type Out = u64;
+            fn ingest(&self, seq: u64) -> Option<u64> {
+                (seq < 17).then_some(seq)
+            }
+            fn stages(&self) -> Vec<&dyn Stage<u64>> {
+                Vec::new()
+            }
+            fn out_identity(&self) -> u64 {
+                0
+            }
+            fn emit(&self, acc: u64, _seq: u64, item: u64) -> u64 {
+                acc + item
+            }
+        }
+        for p in [1usize, 2, 5] {
+            let out = run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                run_pipeline(&NoStages, ctx, PipelineConfig::default())
+            });
+            for (sum, stats) in &out.results {
+                assert_eq!(*sum, (0..17).sum::<u64>(), "p={p}");
+                assert_eq!(stats.transforms, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_trace_is_accepted_by_the_pipeline_grammar() {
+        for p in [1usize, 2, 4, 8] {
+            let trace = PhaseTrace::new();
+            run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                run_pipeline_traced(&Squares(20), ctx, PipelineConfig::default(), Some(&trace)).0
+            });
+            let kinds = trace.kinds();
+            assert!(
+                PIPELINE.grammar.matches(&kinds),
+                "p={p}: {kinds:?} rejected by the pipeline grammar"
+            );
+            assert!(kinds.iter().all(|k| PIPELINE.phases.contains(k)));
+        }
+    }
+
+    #[test]
+    fn partition_balances_contiguously() {
+        let costs = [1.0, 1.0, 8.0, 1.0, 1.0];
+        let bounds = partition_stages(&costs, 3);
+        assert_eq!(bounds, vec![(0, 2), (2, 3), (3, 5)]);
+        assert_eq!(partition_stages(&costs, 1), vec![(0, 5)]);
+        let all = partition_stages(&costs, 9);
+        assert_eq!(all.len(), 5, "never more segments than stages");
+    }
+}

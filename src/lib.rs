@@ -69,6 +69,11 @@ pub use archetype_bnb as bnb;
 /// stealing, wave-based termination (re-export of `archetype-farm`).
 pub use archetype_farm as farm;
 
+/// Pipeline (stream) archetype: bounded credit-based flow control, stage
+/// replication, deterministic in-order emission (re-export of
+/// `archetype-pipeline`).
+pub use archetype_pipeline as pipeline;
+
 /// SPMD message-passing substrate with virtual-time machine models
 /// (re-export of `archetype-mp`).
 pub use archetype_mp as mp;

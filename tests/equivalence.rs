@@ -15,6 +15,9 @@ use parallel_archetypes::mesh::apps::cfd::{cfd_shared, cfd_spmd, shock_sine_init
 use parallel_archetypes::mesh::apps::poisson::{poisson_shared, poisson_spmd, sine_problem};
 use parallel_archetypes::mp::{run_spmd, MachineModel, ProcessGrid2};
 
+mod common;
+use common::assert_bit_identical_runs;
+
 fn int_blocks(nblocks: usize, per: usize, seed: i64) -> Vec<Vec<i64>> {
     (0..nblocks)
         .map(|b| {
@@ -220,7 +223,7 @@ fn recursive_dc_runs_are_bit_identical() {
 
     let input = int_blocks(1, 3000, 17).pop().unwrap();
     let policy = CutoffPolicy::new(2, 64, 10);
-    let run_once = || {
+    let a = assert_bit_identical_runs("recursive dc", || {
         let inp = input.clone();
         run_spmd(6, MachineModel::intel_delta(), move |ctx| {
             let local = (ctx.rank() == 0).then(|| inp.clone());
@@ -232,28 +235,12 @@ fn recursive_dc_runs_are_bit_identical() {
                 &policy,
                 Some(&trace),
             );
-            (result, trace.kinds(), ctx.stats())
+            // Results, per-rank phase traces, and traffic statistics all
+            // ride inside the snapshot comparison.
+            let stats = ctx.stats();
+            (result, trace.kinds(), stats.msgs_sent, stats.bytes_sent)
         })
-    };
-    let a = run_once();
-    let b = run_once();
-    for r in 0..6 {
-        let (res_a, trace_a, stats_a) = &a.results[r];
-        let (res_b, trace_b, stats_b) = &b.results[r];
-        assert_eq!(res_a, res_b, "rank {r} results");
-        assert_eq!(trace_a, trace_b, "rank {r} phase trace");
-        assert_eq!(stats_a.msgs_sent, stats_b.msgs_sent, "rank {r} messages");
-        assert_eq!(stats_a.bytes_sent, stats_b.bytes_sent, "rank {r} bytes");
-        assert!(
-            a.rank_times[r].to_bits() == b.rank_times[r].to_bits(),
-            "rank {r} clocks must be bit-identical"
-        );
-    }
-    assert_eq!(
-        a.elapsed_virtual.to_bits(),
-        b.elapsed_virtual.to_bits(),
-        "elapsed virtual time must be bit-identical"
-    );
+    });
     // And the answer is right.
     let reference = sequential_mergesort(input.clone());
     assert_eq!(a.results[0].0.as_ref().unwrap(), &reference);
@@ -285,6 +272,63 @@ fn recursive_dc_result_is_machine_model_invariant() {
             "{}",
             model.name
         );
+    }
+}
+
+#[test]
+fn pipeline_runs_are_bit_identical() {
+    // Determinism of the pipeline skeleton: repeated runs of the same
+    // stream produce bit-identical summaries, statistics, virtual
+    // clocks, and per-rank phase traces — reusing the shared snapshot
+    // helper rather than a fourth hand-rolled copy.
+    use parallel_archetypes::core::PhaseTrace;
+    use parallel_archetypes::pipeline::apps::ImageChain;
+    use parallel_archetypes::pipeline::{run_pipeline_traced, run_sequential, PipelineConfig};
+
+    let chain = ImageChain::new(96, 64, 16, 6);
+    let a = assert_bit_identical_runs("pipeline image chain", || {
+        let c = chain.clone();
+        run_spmd(7, MachineModel::intel_delta(), move |ctx| {
+            let trace = PhaseTrace::new();
+            let (summary, stats) =
+                run_pipeline_traced(&c, ctx, PipelineConfig::default(), Some(&trace));
+            (summary, stats, trace.kinds(), ctx.stats().msgs_sent)
+        })
+    });
+    // And the summary matches the host-side sequential oracle.
+    let (reference, _) = run_sequential(&chain);
+    assert_eq!(a.results[0].0, reference);
+}
+
+#[test]
+fn pipeline_result_is_machine_model_and_config_invariant() {
+    // The machine model changes clocks and the model-derived placement
+    // plan (replica counts), but never the emitted result.
+    use parallel_archetypes::pipeline::apps::TopKStream;
+    use parallel_archetypes::pipeline::{run_pipeline, run_sequential, PipelineConfig};
+
+    let stream = TopKStream::new(48, 64, 8, 32, 3.0);
+    let (reference, _) = run_sequential(&stream);
+    for model in [
+        MachineModel::cray_t3d(),
+        MachineModel::ibm_sp(),
+        MachineModel::workstation_network(),
+    ] {
+        for window in [1usize, 8] {
+            let s = stream.clone();
+            let out = run_spmd(8, model, move |ctx| {
+                let config = PipelineConfig {
+                    window,
+                    ..PipelineConfig::default()
+                };
+                run_pipeline(&s, ctx, config).0
+            });
+            assert!(
+                out.results.iter().all(|d| *d == reference),
+                "{} window={window}",
+                model.name
+            );
+        }
     }
 }
 

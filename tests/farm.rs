@@ -10,6 +10,9 @@ use parallel_archetypes::farm::apps::{MandelbrotFarm, SweepFarm};
 use parallel_archetypes::farm::{run_farm, run_farm_traced, FarmConfig};
 use parallel_archetypes::mp::{run_spmd, MachineModel};
 
+mod common;
+use common::assert_bit_identical_runs;
+
 #[test]
 fn farm_archetype_metadata_is_exposed() {
     assert_eq!(TASK_FARM.name, "task-farm");
@@ -68,19 +71,16 @@ fn knapsack_farm_port_matches_oracle_and_is_deterministic() {
     let mut reference = None;
     for p in [1usize, 2, 4, 8] {
         let items = items.clone();
-        let run = || {
+        // Bit-identical stats and clocks across repeated runs (the
+        // shared snapshot helper), identical optima on every rank and
+        // every process count.
+        let a = assert_bit_identical_runs(&format!("knapsack farm p={p}"), || {
             let items = items.clone();
             run_spmd(p, MachineModel::ibm_sp(), move |ctx| {
                 solve_farm(&Knapsack::new(&items, cap), ctx, FarmConfig::default())
             })
-        };
-        let a = run();
-        let b = run();
-        // Identical optima on every rank and every process count...
+        });
         assert!(a.results.iter().all(|&(v, _, _)| v == oracle), "p={p}");
-        // ...and bit-identical stats and clocks across repeated runs.
-        assert_eq!(a.results, b.results, "p={p}");
-        assert_eq!(a.rank_times, b.rank_times, "p={p}");
         if p == 1 {
             reference = Some(a.results[0].0);
         }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use parallel_archetypes::mesh::redist::{cols_to_rows, rows_to_cols, RowDist};
 use parallel_archetypes::mp::topology::{block_owner, block_range};
-use parallel_archetypes::mp::{run_spmd, MachineModel};
+use parallel_archetypes::mp::{run_spmd, Group, MachineModel};
 use parallel_archetypes::numerics::{fft, ifft, Complex};
 
 proptest! {
@@ -120,6 +120,125 @@ proptest! {
             let back = cols_to_rows(ctx, &cd);
             assert_eq!(back, rd);
         });
+    }
+
+    #[test]
+    fn world_scatter_gather_round_trips(
+        n in 1usize..9,
+        root in any::<u32>(),
+        lens in vec(0usize..6, 1..9),
+    ) {
+        // Scatter arbitrary (possibly empty) per-rank payloads from an
+        // arbitrary root, then gather them back: the root must recover
+        // exactly what it dealt, in rank order.
+        let root = root as usize % n;
+        let dealt = lens.clone();
+        let out = run_spmd(n, MachineModel::ibm_sp(), move |ctx| {
+            let values: Option<Vec<Vec<u64>>> = (ctx.rank() == root).then(|| {
+                (0..ctx.nprocs())
+                    .map(|r| vec![r as u64 * 1000 + 7; dealt[r % dealt.len()]])
+                    .collect()
+            });
+            let mine: Vec<u64> = ctx.scatter(root, values);
+            ctx.gather(root, mine)
+        });
+        let gathered = out.results[root].as_ref().expect("root gathers");
+        for (r, piece) in gathered.iter().enumerate() {
+            prop_assert_eq!(piece, &vec![r as u64 * 1000 + 7; lens[r % lens.len()]]);
+        }
+        for (r, res) in out.results.iter().enumerate() {
+            prop_assert_eq!(res.is_some(), r == root);
+        }
+    }
+
+    #[test]
+    fn group_scatter_all_to_all_round_trip(
+        n in 1usize..9,
+        at in 0usize..8,
+        seed in any::<u32>(),
+    ) {
+        // Split the world in two (degenerate splits — a full-world group
+        // or singleton groups — included), then inside each group:
+        // scatter from group root 0 (empty payloads included) and check
+        // the all_to_all transpose identity, concurrently in both groups.
+        let boundary = at % n;
+        let out = run_spmd(n, MachineModel::ibm_sp(), move |ctx| {
+            let colors: Vec<usize> =
+                (0..ctx.nprocs()).map(|r| usize::from(r < boundary)).collect();
+            let mut g = Group::split(ctx, &colors);
+            let k = g.len();
+            let values = (g.rank() == 0).then(|| {
+                (0..k)
+                    .map(|i| vec![u64::from(seed) + i as u64; i % 3])
+                    .collect::<Vec<Vec<u64>>>()
+            });
+            let mine: Vec<u64> = g.scatter(ctx, 0, values);
+            // Personalized exchange: slot s of the result holds what
+            // member s addressed to me.
+            let items: Vec<(u64, u64)> =
+                (0..k as u64).map(|d| (g.rank() as u64, d)).collect();
+            let got = g.all_to_all(ctx, items);
+            (g.rank(), mine, got)
+        });
+        for (grank, mine, got) in out.results {
+            prop_assert_eq!(mine, vec![u64::from(seed) + grank as u64; grank % 3]);
+            for (s, &(from, to)) in got.iter().enumerate() {
+                prop_assert_eq!(from, s as u64);
+                prop_assert_eq!(to, grank as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn group_world_agrees_with_global_collectives(
+        n in 1usize..9,
+        value in any::<u32>(),
+    ) {
+        // Group::world is the whole-world group: its collectives must
+        // compute exactly what the global ones do, without touching the
+        // global collective sequence.
+        let out = run_spmd(n, MachineModel::cray_t3d(), move |ctx| {
+            let mut w = Group::world(ctx);
+            let base = u64::from(value) + ctx.rank() as u64;
+            let ga = w.all_reduce(ctx, base, |a, b| a.wrapping_add(b));
+            let gg = w.all_gather(ctx, base);
+            let wa = ctx.all_reduce(base, |a, b| a.wrapping_add(b));
+            let wg = ctx.all_gather(base);
+            (ga, gg, wa, wg)
+        });
+        for (ga, gg, wa, wg) in out.results {
+            prop_assert_eq!(ga, wa);
+            prop_assert_eq!(gg, wg);
+        }
+    }
+
+    #[test]
+    fn sibling_group_tags_stay_isolated(
+        n in 2usize..9,
+        rounds_a in 1usize..4,
+        rounds_b in 1usize..4,
+    ) {
+        // Two disjoint groups run *different numbers* of collectives
+        // carrying values stamped with their identity; nothing may leak
+        // across, and a global collective afterwards still matches.
+        let out = run_spmd(n, MachineModel::ibm_sp(), move |ctx| {
+            let half = ctx.nprocs() / 2;
+            let colors: Vec<usize> =
+                (0..ctx.nprocs()).map(|r| usize::from(r < half)).collect();
+            let mut g = Group::split(ctx, &colors);
+            let my_color = u64::from(ctx.rank() < half);
+            let rounds = if my_color == 1 { rounds_a } else { rounds_b };
+            let mut seen = Vec::new();
+            for _ in 0..rounds {
+                seen.extend(g.all_to_all(ctx, vec![my_color; g.len()]));
+            }
+            let world = ctx.all_reduce(1u64, |a, b| a + b);
+            (seen, my_color, world)
+        });
+        for (seen, color, world) in out.results {
+            prop_assert!(seen.iter().all(|&v| v == color));
+            prop_assert_eq!(world, n as u64);
+        }
     }
 
     #[test]

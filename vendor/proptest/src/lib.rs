@@ -197,6 +197,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the
+    /// configured count — this is how CI's dedicated property-test step
+    /// raises coverage without touching every suite's source. (Upstream
+    /// proptest reads the same variable, though only into its
+    /// source-level defaults.)
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -242,8 +256,9 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
                 let mut rng = $crate::TestRng::for_test(stringify!($name));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     let run = || {
                         $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
                         $body
@@ -253,7 +268,7 @@ macro_rules! proptest {
                     ) {
                         eprintln!(
                             "proptest case {case}/{} of {} failed",
-                            config.cases,
+                            cases,
                             stringify!($name),
                         );
                         ::std::panic::resume_unwind(p);
@@ -295,6 +310,16 @@ mod tests {
         for _ in 0..100 {
             let v = Strategy::sample(&s, &mut rng);
             assert!((0..19).contains(&v));
+        }
+    }
+
+    #[test]
+    fn resolved_cases_falls_back_to_configured_count() {
+        // (The PROPTEST_CASES override itself is exercised by CI's
+        // dedicated property-test step; mutating the process environment
+        // here would race with parallel tests.)
+        if std::env::var_os("PROPTEST_CASES").is_none() {
+            assert_eq!(ProptestConfig::with_cases(42).resolved_cases(), 42);
         }
     }
 
