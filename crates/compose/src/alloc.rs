@@ -1,0 +1,129 @@
+//! The model-driven allocator: how many ranks each `Par` branch gets.
+//!
+//! Branch work estimates come from the jobs' flop counts
+//! ([`crate::ArchetypeJob::estimate_flops`], summed over each branch's
+//! plan). Ranks are apportioned **proportionally to estimated work**
+//! with a guaranteed minimum of one rank per branch, using the largest-
+//! remainder method: every branch first receives one rank, then the
+//! remaining `p − k` ranks are distributed by quota
+//! `qᵢ = (p − k) · costᵢ / Σcost`, each branch receiving `⌊qᵢ⌋` plus at
+//! most one more, in descending fractional-remainder order (ties broken
+//! by branch index, so the allocation is deterministic).
+//!
+//! The resulting invariants — checked by `tests/prop_compose.rs` over
+//! random costs and process counts — are exactly the ones the executor's
+//! group arithmetic relies on: sizes sum to `p`, every branch gets at
+//! least one rank, and every size is within one rank of its quota.
+
+/// Rank shares for `k = costs.len()` branches over `p` ranks.
+///
+/// Non-finite or negative costs are treated as zero; if every cost is
+/// zero the spare ranks are spread evenly. Requires `p >= k` (the
+/// executor serializes branches instead of calling this when the group
+/// is too small).
+///
+/// ```
+/// use archetype_compose::allocate;
+/// assert_eq!(allocate(&[3.0, 1.0], 8), vec![6, 2]);
+/// assert_eq!(allocate(&[1.0, 1.0, 1.0], 4), vec![2, 1, 1]);
+/// assert_eq!(allocate(&[0.0, 0.0], 5), vec![3, 2]);
+/// ```
+///
+/// # Panics
+/// Panics if `costs` is empty or `p < costs.len()`.
+pub fn allocate(costs: &[f64], p: usize) -> Vec<usize> {
+    let k = costs.len();
+    assert!(k >= 1, "allocate needs at least one branch");
+    assert!(
+        p >= k,
+        "allocate needs at least one rank per branch (p={p}, k={k})"
+    );
+
+    let sane: Vec<f64> = costs
+        .iter()
+        .map(|&c| if c.is_finite() && c > 0.0 { c } else { 0.0 })
+        .collect();
+    let total: f64 = sane.iter().sum();
+    let spare = (p - k) as f64;
+
+    // Quotas over the spare ranks (even spread when nothing is priced).
+    let quotas: Vec<f64> = if total > 0.0 {
+        sane.iter().map(|&c| spare * c / total).collect()
+    } else {
+        vec![spare / k as f64; k]
+    };
+
+    let mut sizes: Vec<usize> = quotas.iter().map(|&q| 1 + q.floor() as usize).collect();
+    let assigned: usize = sizes.iter().sum();
+    let mut leftover = p - assigned;
+
+    // Largest fractional remainders first; index order on ties.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a].fract();
+        let fb = quotas[b].fract();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        sizes[i] += 1;
+        leftover -= 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), p);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_p_and_respect_quota_bounds() {
+        let costs = [5.0, 1.0, 3.0, 1.0];
+        for p in 4..=32 {
+            let sizes = allocate(&costs, p);
+            assert_eq!(sizes.iter().sum::<usize>(), p);
+            let total: f64 = costs.iter().sum();
+            let spare = (p - costs.len()) as f64;
+            for (i, &s) in sizes.iter().enumerate() {
+                let q = spare * costs[i] / total;
+                assert!(s >= 1, "p={p} branch {i}");
+                assert!(
+                    (s as f64 - (1.0 + q)).abs() < 1.0 + 1e-9,
+                    "p={p} branch {i}: share {s} vs quota {}",
+                    1.0 + q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_pathological_costs_fall_back_to_even_spread() {
+        assert_eq!(allocate(&[0.0, 0.0, 0.0], 9), vec![3, 3, 3]);
+        let sizes = allocate(&[f64::NAN, f64::INFINITY, -3.0], 6);
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn exact_fit_gives_one_rank_each() {
+        assert_eq!(allocate(&[9.0, 1.0, 4.0], 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn heavily_skewed_costs_still_feed_every_branch() {
+        let sizes = allocate(&[1e12, 1.0, 1.0], 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert_eq!(sizes[1], 1);
+        assert_eq!(sizes[2], 1);
+        assert_eq!(sizes[0], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rank per branch")]
+    fn too_few_ranks_panic() {
+        allocate(&[1.0, 1.0, 1.0], 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! The plan executor: groups, handoffs, traces, statistics.
+//!
+//! [`run_plan`] walks a [`Plan`] collectively on the current process
+//! group, maintaining one invariant throughout: **the plan value on an
+//! edge is held by rank 0 of the group executing that edge**. From it,
+//! each constructor's communication is derived:
+//!
+//! - **Atom** — the group enters a fresh [`Ctx::scoped`] section (so the
+//!   archetype's internal protocol, whatever tags it uses, is isolated
+//!   from every sibling and from the executor's own traffic), the root
+//!   broadcasts the input to the members, and the job runs collectively;
+//!   the root keeps the output.
+//! - **Seq** — stages execute in order on the whole group; the value
+//!   stays at the root between stages, so consecutive stages hand off
+//!   without communication.
+//! - **Par / Replicate** — the root splits the tuple input, prices each
+//!   branch through its jobs' flop estimates, and broadcasts the cost
+//!   vector; every rank then computes the same proportional allocation
+//!   ([`crate::allocate`]) and joins its contiguous branch subgroup. The
+//!   root ships branch inputs to the branch roots (bit-59
+//!   [`archetype_mp::tags::compose_tag`] namespace), branches recurse
+//!   concurrently inside disjoint scopes, and branch roots ship outputs
+//!   (with their trace slices) back to the root, which assembles the
+//!   output tuple — in branch order, so results, clocks, and the
+//!   composite trace are deterministic. Groups too small to host every
+//!   branch (`p < k`), or a [`ParMode::Serialize`] config, run the
+//!   branches one after another on the whole group instead — same
+//!   results, same statistics, different schedule.
+//!
+//! Statistics ([`ComposeStats`]) count *logical* structure — atoms run,
+//! stages, branches, handoffs and their bytes — so they are identical
+//! across process counts, machine models, and `Par` modes; determinism
+//! of results and virtual clocks across repeated runs follows from the
+//! substrate's.
+
+use archetype_core::{Phase, PhaseKind, PhaseTrace};
+use archetype_mp::tags::{compose_tag, ComposeTag};
+use archetype_mp::{impl_fixed_size, Ctx, Payload};
+
+use crate::alloc::allocate;
+use crate::plan::{Plan, PlanNode};
+use crate::value::Value;
+
+/// How `Par`/`Replicate` nodes use the group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParMode {
+    /// Branches run concurrently on disjoint subgroups sized by the
+    /// model-driven allocator (serializing only when the group is
+    /// smaller than the branch count).
+    #[default]
+    Allocate,
+    /// Branches run one after another on the full group — the baseline
+    /// the `compose_scaling` bench compares cost-proportional allocation
+    /// against.
+    Serialize,
+}
+
+/// Tuning knobs for [`run_plan_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComposeConfig {
+    /// Branch scheduling policy.
+    pub par: ParMode,
+}
+
+/// Deterministic, structural statistics of a plan run — identical on
+/// every rank, across runs, process counts, machine models, and
+/// [`ParMode`]s (they count the plan's logical execution, not its
+/// schedule).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComposeStats {
+    /// Atom executions ([`crate::ArchetypeJob::run`] calls, counted once
+    /// per atom instance regardless of group size).
+    pub atoms: u64,
+    /// `Seq` stages executed.
+    pub seq_stages: u64,
+    /// `Par`/`Replicate` sections executed.
+    pub par_sections: u64,
+    /// Branches executed across all sections (replicate copies included).
+    pub branches: u64,
+    /// Branches that were replicate copies.
+    pub replicated: u64,
+    /// Logical inter-stage value transfers: one input and one output per
+    /// branch of every section.
+    pub handoffs: u64,
+    /// Total payload bytes of those transfers (branch inputs + outputs).
+    pub handoff_bytes: u64,
+    /// Plan nodes executed (replicate bodies counted once per copy).
+    pub plan_nodes: u64,
+    /// Deepest nesting level reached.
+    pub max_depth: u64,
+}
+
+impl_fixed_size!(ComposeStats);
+
+impl ComposeStats {
+    fn combine(a: ComposeStats, b: ComposeStats) -> ComposeStats {
+        ComposeStats {
+            atoms: a.atoms + b.atoms,
+            seq_stages: a.seq_stages + b.seq_stages,
+            par_sections: a.par_sections + b.par_sections,
+            branches: a.branches + b.branches,
+            replicated: a.replicated + b.replicated,
+            handoffs: a.handoffs + b.handoffs,
+            handoff_bytes: a.handoff_bytes + b.handoff_bytes,
+            plan_nodes: a.plan_nodes + b.plan_nodes,
+            max_depth: a.max_depth.max(b.max_depth),
+        }
+    }
+}
+
+/// A branch's trace slice travelling back to the parent root.
+struct TraceBatch(Vec<Phase>);
+
+impl Payload for TraceBatch {
+    fn size_bytes(&self) -> usize {
+        self.0.iter().map(|p| 1 + p.label.len()).sum()
+    }
+}
+
+/// A branch output and its trace slice, shipped root-to-root.
+struct Handoff {
+    value: Value,
+    trace: TraceBatch,
+}
+
+impl Payload for Handoff {
+    fn size_bytes(&self) -> usize {
+        self.value.size_bytes() + self.trace.size_bytes()
+    }
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut h = 0x9e3779b97f4a7c15u64 ^ a;
+    h = h.wrapping_mul(0x100000001b3);
+    h ^= b;
+    h.wrapping_mul(0x100000001b3)
+}
+
+/// Split a `Par`/`Replicate` input into one part per branch.
+fn split_parts(v: Value, k: usize) -> Vec<Value> {
+    match v {
+        Value::Tuple(parts) => {
+            assert_eq!(
+                parts.len(),
+                k,
+                "a Par/Replicate over {k} branches needs a {k}-tuple input (got {} parts)",
+                parts.len()
+            );
+            parts
+        }
+        Value::Unit => vec![Value::Unit; k],
+        other => panic!(
+            "a Par/Replicate over {k} branches needs a Tuple or Unit input, got {}",
+            other.shape()
+        ),
+    }
+}
+
+struct Walker {
+    config: ComposeConfig,
+    stats: ComposeStats,
+}
+
+impl Walker {
+    /// Execute one plan node on the current scope. `input` is `Some`
+    /// exactly on the scope's rank 0; likewise the returned value and
+    /// trace slice.
+    fn node(
+        &mut self,
+        ctx: &mut Ctx,
+        plan: &Plan,
+        input: Option<Value>,
+        node_id: u64,
+        salt: u64,
+        depth: u64,
+    ) -> (Option<Value>, Vec<Phase>) {
+        let root = ctx.rank() == 0;
+        if root {
+            self.stats.plan_nodes += 1;
+            self.stats.max_depth = self.stats.max_depth.max(depth);
+        }
+        match &plan.node {
+            PlanNode::Atom(job) => {
+                let members: Vec<usize> = (0..ctx.nprocs()).collect();
+                let stats = &mut self.stats;
+                ctx.scoped(&members, mix(salt, node_id), |ctx| {
+                    let root = ctx.rank() == 0;
+                    let mut phases = Vec::new();
+                    if root && ctx.nprocs() > 1 {
+                        phases.push(Phase::new(
+                            PhaseKind::Communication,
+                            format!("replicate input of {}", job.name()),
+                        ));
+                    }
+                    let v = ctx.broadcast(0, input);
+                    let local = if root { Some(PhaseTrace::new()) } else { None };
+                    let out = job.run(ctx, v, local.as_ref());
+                    if root {
+                        stats.atoms += 1;
+                        phases.extend(local.expect("root trace").phases());
+                        (Some(out), phases)
+                    } else {
+                        (None, Vec::new())
+                    }
+                })
+            }
+            PlanNode::Seq(stages) => {
+                if root {
+                    self.stats.seq_stages += stages.len() as u64;
+                }
+                let mut v = input;
+                let mut phases = Vec::new();
+                let mut child = node_id + 1;
+                for stage in stages {
+                    let (nv, ph) = self.node(ctx, stage, v, child, salt, depth + 1);
+                    child += stage.nodes();
+                    v = nv;
+                    phases.extend(ph);
+                }
+                (v, phases)
+            }
+            PlanNode::Par(branches) => {
+                let refs: Vec<&Plan> = branches.iter().collect();
+                let mut bases = Vec::with_capacity(refs.len());
+                let mut base = node_id + 1;
+                for b in &refs {
+                    bases.push(base);
+                    base += b.nodes();
+                }
+                self.section(ctx, &refs, &bases, input, node_id, salt, depth, false)
+            }
+            PlanNode::Replicate(copies, inner) => {
+                let refs: Vec<&Plan> = (0..*copies).map(|_| inner.as_ref()).collect();
+                let bases = vec![node_id + 1; *copies];
+                self.section(ctx, &refs, &bases, input, node_id, salt, depth, true)
+            }
+        }
+    }
+
+    /// Execute a `Par`/`Replicate` section: `branches[j]` over part `j`
+    /// of the tuple input, starting its subtree's node ids at `bases[j]`.
+    #[allow(clippy::too_many_arguments)] // internal walker plumbing
+    fn section(
+        &mut self,
+        ctx: &mut Ctx,
+        branches: &[&Plan],
+        bases: &[u64],
+        input: Option<Value>,
+        node_id: u64,
+        salt: u64,
+        depth: u64,
+        is_replicate: bool,
+    ) -> (Option<Value>, Vec<Phase>) {
+        let k = branches.len();
+        let p = ctx.nprocs();
+        let root = ctx.rank() == 0;
+        if root {
+            self.stats.par_sections += 1;
+            self.stats.branches += k as u64;
+            if is_replicate {
+                self.stats.replicated += k as u64;
+            }
+        }
+
+        let mut parts: Option<Vec<Value>> = input.map(|v| split_parts(v, k));
+        let parts_bytes: u64 = parts.iter().flatten().map(|v| v.size_bytes() as u64).sum();
+
+        let parallel = self.config.par == ParMode::Allocate && k > 1 && p >= k;
+        let mut phases = Vec::new();
+        let mut outs: Option<Vec<Value>> = if root { Some(Vec::new()) } else { None };
+
+        if !parallel {
+            // Serialized: every branch runs on the whole group, in order.
+            for (j, branch) in branches.iter().enumerate() {
+                let part = parts
+                    .as_mut()
+                    .map(|ps| std::mem::replace(&mut ps[j], Value::Unit));
+                let (ov, ph) = self.node(
+                    ctx,
+                    branch,
+                    part,
+                    bases[j],
+                    mix(salt, j as u64 + 1),
+                    depth + 1,
+                );
+                if let Some(outs) = outs.as_mut() {
+                    outs.push(ov.expect("the scope root holds every branch output"));
+                }
+                phases.extend(ph);
+            }
+        } else {
+            // Price the branches and share the verdict, so every rank
+            // computes the identical allocation.
+            let costs: Option<Vec<f64>> = parts.as_ref().map(|ps| {
+                branches
+                    .iter()
+                    .zip(ps)
+                    .map(|(b, part)| b.estimate_flops(part))
+                    .collect()
+            });
+            if root {
+                phases.push(Phase::new(
+                    PhaseKind::Communication,
+                    "par fan-out: cost broadcast + branch inputs",
+                ));
+            }
+            let costs: Vec<f64> = ctx.broadcast(0, costs);
+            let sizes = allocate(&costs, p);
+            let mut starts = vec![0usize; k];
+            for j in 1..k {
+                starts[j] = starts[j - 1] + sizes[j - 1];
+            }
+            let me = ctx.rank();
+            let my_branch = (0..k).rfind(|&j| starts[j] <= me).expect("rank in range");
+
+            // Branch inputs travel root-to-root in the parent scope.
+            if root {
+                let mut ps = parts.take().expect("root holds the input");
+                for j in (1..k).rev() {
+                    let part = ps.pop().expect("one part per branch");
+                    ctx.send(starts[j], compose_tag(ComposeTag::Input, node_id), part);
+                }
+                parts = Some(ps); // now just branch 0's part
+            }
+            let my_input: Option<Value> = if me == starts[my_branch] {
+                if my_branch == 0 {
+                    Some(parts.take().expect("root").pop().expect("branch 0 part"))
+                } else {
+                    Some(ctx.recv(0, compose_tag(ComposeTag::Input, node_id)))
+                }
+            } else {
+                None
+            };
+
+            // Concurrent descent inside disjoint scopes.
+            let members: Vec<usize> =
+                (starts[my_branch]..starts[my_branch] + sizes[my_branch]).collect();
+            let branch = branches[my_branch];
+            let base = bases[my_branch];
+            let walker = &mut *self;
+            let (ov, ph) = ctx.scoped(&members, mix(mix(salt, node_id), my_branch as u64), |ctx| {
+                walker.node(
+                    ctx,
+                    branch,
+                    my_input,
+                    base,
+                    mix(salt, my_branch as u64 + 1),
+                    depth + 1,
+                )
+            });
+
+            // Branch outputs (with trace slices) gather back to the root.
+            if me == starts[my_branch] && my_branch != 0 {
+                ctx.send(
+                    0,
+                    compose_tag(ComposeTag::Output, node_id),
+                    Handoff {
+                        value: ov.expect("a branch root holds its output"),
+                        trace: TraceBatch(ph),
+                    },
+                );
+            } else if root {
+                let outs_vec = outs.as_mut().expect("root collects");
+                outs_vec.push(ov.expect("branch 0's root is the section root"));
+                phases.extend(ph);
+                for &start in starts.iter().skip(1) {
+                    let h: Handoff = ctx.recv(start, compose_tag(ComposeTag::Output, node_id));
+                    outs_vec.push(h.value);
+                    phases.extend(h.trace.0);
+                }
+                phases.push(Phase::new(
+                    PhaseKind::Communication,
+                    "par gather: branch outputs",
+                ));
+            }
+        }
+
+        if root {
+            let out_bytes: u64 = outs
+                .as_ref()
+                .expect("root collects")
+                .iter()
+                .map(|v| v.size_bytes() as u64)
+                .sum();
+            self.stats.handoffs += 2 * k as u64;
+            self.stats.handoff_bytes += parts_bytes + out_bytes;
+        }
+        (outs.map(Value::Tuple), phases)
+    }
+}
+
+/// Execute `plan` collectively on the current group: `input` feeds the
+/// first stage (only rank 0's copy is used), and every rank returns the
+/// identical final output and [`ComposeStats`].
+///
+/// Must be called by every rank of the group, like the archetype
+/// drivers; composes with [`Ctx::scoped`], so a plan can itself appear
+/// inside a larger scoped computation.
+pub fn run_plan(ctx: &mut Ctx, plan: &Plan, input: Value) -> (Value, ComposeStats) {
+    run_plan_with(ctx, plan, input, ComposeConfig::default(), None)
+}
+
+/// [`run_plan`] with phase tracing: rank 0 records the canonical
+/// composite trace — every atom's phase sequence in plan order, with the
+/// executor's own `Communication` phases for input replication, `Par`
+/// fan-out, and output gather — which [`Plan::grammar`] accepts by
+/// construction.
+pub fn run_plan_traced(
+    ctx: &mut Ctx,
+    plan: &Plan,
+    input: Value,
+    trace: Option<&PhaseTrace>,
+) -> (Value, ComposeStats) {
+    run_plan_with(ctx, plan, input, ComposeConfig::default(), trace)
+}
+
+/// [`run_plan_traced`] with explicit scheduling configuration.
+pub fn run_plan_with(
+    ctx: &mut Ctx,
+    plan: &Plan,
+    input: Value,
+    config: ComposeConfig,
+    trace: Option<&PhaseTrace>,
+) -> (Value, ComposeStats) {
+    let root = ctx.rank() == 0;
+    let mut walker = Walker {
+        config,
+        stats: ComposeStats::default(),
+    };
+    let (out, phases) = walker.node(ctx, plan, root.then_some(input), 0, 0, 0);
+    let out = ctx.broadcast(0, out);
+    let stats = ctx.all_reduce(walker.stats, ComposeStats::combine);
+    if root {
+        if let Some(t) = trace {
+            for ph in phases {
+                t.record(ph.kind, ph.label);
+            }
+        }
+    }
+    (out, stats)
+}

@@ -254,6 +254,353 @@ impl PhasePattern {
     }
 }
 
+/// An **owned, runtime-composable** phase grammar: the dynamic
+/// counterpart of [`PhasePattern`], built when the shape of a computation
+/// is only known at run time — most importantly by the composition
+/// subsystem (`crates/compose`), which derives the grammar of a whole
+/// *plan* of archetype instances from its members' static grammars.
+///
+/// Two composition operators go beyond [`PhasePattern`]'s regular
+/// repertoire:
+///
+/// - [`PatternExpr::seq`] — members execute one after another, so their
+///   traces concatenate (a `Seq` stage chain, or `Par` branches flattened
+///   in branch order, which is how the composition executor canonicalizes
+///   concurrent branches into one deterministic trace);
+/// - [`PatternExpr::interleave`] — members execute concurrently and their
+///   traces may shuffle arbitrarily while each preserves its own order
+///   (checking a trace merged by timestamp rather than by branch).
+///   Matching tries every order-preserving assignment of trace elements
+///   to members (exponential in the worst case — intended for the short
+///   traces conformance tests check); branch-order concatenation is one
+///   such assignment, so whatever `seq` accepts, `interleave` accepts too.
+///
+/// ```
+/// use archetype_core::archetype::{PatternExpr, PhaseKind, ONE_DEEP_DC, TASK_FARM};
+/// use PhaseKind::{Merge, Seed, Solve, Split, Terminate, Work};
+///
+/// // A farm followed by a one-deep D&C, as a derived composite grammar.
+/// let g = PatternExpr::seq(vec![
+///     PatternExpr::from_static(&TASK_FARM.grammar),
+///     PatternExpr::from_static(&ONE_DEEP_DC.grammar),
+/// ]);
+/// assert!(g.matches(&[Seed, Work, Terminate, Split, Solve, Merge]));
+/// assert!(!g.matches(&[Split, Solve, Merge, Seed, Work, Terminate]));
+///
+/// // Run concurrently instead: any shuffle of the two traces is legal.
+/// let i = PatternExpr::interleave(vec![
+///     PatternExpr::from_static(&TASK_FARM.grammar),
+///     PatternExpr::from_static(&ONE_DEEP_DC.grammar),
+/// ]);
+/// assert!(i.matches(&[Seed, Split, Work, Solve, Terminate, Merge]));
+/// ```
+#[derive(Clone, Debug)]
+pub enum PatternExpr {
+    /// Exactly one phase of this kind.
+    Kind(PhaseKind),
+    /// Exactly one phase, of any of these kinds.
+    AnyOf(Vec<PhaseKind>),
+    /// Each sub-pattern in order (members' traces concatenate).
+    Seq(Vec<PatternExpr>),
+    /// Zero or more repetitions.
+    Star(Box<PatternExpr>),
+    /// One or more repetitions.
+    Plus(Box<PatternExpr>),
+    /// Zero or one occurrence.
+    Opt(Box<PatternExpr>),
+    /// A preorder recursion-tree trace: `T := leaf | open T+ close`.
+    Tree {
+        /// Phase recorded on entering an internal node.
+        open: PhaseKind,
+        /// Phase recorded at a leaf (the sequential cutoff).
+        leaf: PhaseKind,
+        /// Phase recorded when an internal node combines its children.
+        close: PhaseKind,
+    },
+    /// Any order-preserving shuffle of the members' traces (concurrent
+    /// composition). Matching is exponential in the worst case; use for
+    /// the short traces that conformance checks examine.
+    Interleave(Vec<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// Sequential composition: members' traces concatenate in order.
+    pub fn seq(parts: Vec<PatternExpr>) -> PatternExpr {
+        PatternExpr::Seq(parts)
+    }
+
+    /// Concurrent composition: members' traces shuffle, each preserving
+    /// its own order.
+    pub fn interleave(parts: Vec<PatternExpr>) -> PatternExpr {
+        PatternExpr::Interleave(parts)
+    }
+
+    /// Zero-or-one occurrence of `inner`.
+    pub fn opt(inner: PatternExpr) -> PatternExpr {
+        PatternExpr::Opt(Box::new(inner))
+    }
+
+    /// Convert a static archetype grammar into an owned expression, so it
+    /// can be composed with others at run time.
+    pub fn from_static(p: &PhasePattern) -> PatternExpr {
+        match p {
+            PhasePattern::Kind(k) => PatternExpr::Kind(*k),
+            PhasePattern::AnyOf(ks) => PatternExpr::AnyOf(ks.to_vec()),
+            PhasePattern::Seq(parts) => {
+                PatternExpr::Seq(parts.iter().map(PatternExpr::from_static).collect())
+            }
+            PhasePattern::Star(inner) => {
+                PatternExpr::Star(Box::new(PatternExpr::from_static(inner)))
+            }
+            PhasePattern::Plus(inner) => {
+                PatternExpr::Plus(Box::new(PatternExpr::from_static(inner)))
+            }
+            PhasePattern::Opt(inner) => PatternExpr::Opt(Box::new(PatternExpr::from_static(inner))),
+            PhasePattern::Tree { open, leaf, close } => PatternExpr::Tree {
+                open: *open,
+                leaf: *leaf,
+                close: *close,
+            },
+        }
+    }
+
+    /// True if `kinds` as a whole is a sentence of this grammar.
+    pub fn matches(&self, kinds: &[PhaseKind]) -> bool {
+        self.ends(kinds, 0).contains(&kinds.len())
+    }
+
+    /// All positions a match starting at `pos` can end at (deduplicated,
+    /// ascending) — the same backtracking scheme as [`PhasePattern`],
+    /// plus the interleaving search.
+    fn ends(&self, kinds: &[PhaseKind], pos: usize) -> Vec<usize> {
+        let mut out = match self {
+            PatternExpr::Kind(k) => {
+                if kinds.get(pos) == Some(k) {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            PatternExpr::AnyOf(ks) => match kinds.get(pos) {
+                Some(k) if ks.contains(k) => vec![pos + 1],
+                _ => vec![],
+            },
+            PatternExpr::Seq(parts) => {
+                let mut frontier = vec![pos];
+                for part in parts {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        next.extend(part.ends(kinds, p));
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            }
+            PatternExpr::Star(inner) => {
+                let mut reach = vec![pos];
+                let mut frontier = vec![pos];
+                while !frontier.is_empty() {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        for e in inner.ends(kinds, p) {
+                            if e > p && !reach.contains(&e) {
+                                reach.push(e);
+                                next.push(e);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                reach
+            }
+            PatternExpr::Plus(inner) => {
+                let mut out = Vec::new();
+                for first in inner.ends(kinds, pos) {
+                    out.extend(PatternExpr::Star(inner.clone()).ends(kinds, first));
+                }
+                out
+            }
+            PatternExpr::Opt(inner) => {
+                let mut out = vec![pos];
+                out.extend(inner.ends(kinds, pos));
+                out
+            }
+            PatternExpr::Tree { open, leaf, close } => {
+                match PhasePattern::tree_end(kinds, pos, *open, *leaf, *close) {
+                    Some(e) => vec![e],
+                    None => vec![],
+                }
+            }
+            PatternExpr::Interleave(parts) => {
+                // An interleaving of k members matching kinds[pos..e]: try
+                // every order-preserving assignment of elements to members
+                // by peeling distinct *subsequences*. Implemented as: the
+                // suffix kinds[pos..] is split; a full-prefix match is
+                // found by checking, for each candidate end e, whether
+                // kinds[pos..e] shuffles into the members.
+                let mut out = Vec::new();
+                for e in pos..=kinds.len() {
+                    if Self::shuffles(parts, &kinds[pos..e]) {
+                        out.push(e);
+                    }
+                }
+                out
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if `kinds` (whole) is an order-preserving shuffle of one
+    /// sentence per member. Backtracking over per-member subsequences,
+    /// pruned by **exact** prefix viability ([`PatternExpr::accepts_prefix`]):
+    /// a token is only ever assigned to a member whose subsequence can
+    /// still extend to a sentence, so canonical (branch-ordered) traces
+    /// match in near-linear time even when sibling alphabets coincide.
+    fn shuffles(parts: &[PatternExpr], kinds: &[PhaseKind]) -> bool {
+        fn go(
+            parts: &[PatternExpr],
+            kinds: &[PhaseKind],
+            pos: usize,
+            taken: &mut Vec<Vec<PhaseKind>>,
+        ) -> bool {
+            if pos == kinds.len() {
+                return parts.iter().zip(taken.iter()).all(|(p, t)| p.matches(t));
+            }
+            for m in 0..parts.len() {
+                taken[m].push(kinds[pos]);
+                if parts[m].accepts_prefix(&taken[m], 0) && go(parts, kinds, pos + 1, taken) {
+                    return true;
+                }
+                taken[m].pop();
+            }
+            false
+        }
+        let mut taken = vec![Vec::new(); parts.len()];
+        go(parts, kinds, 0, &mut taken)
+    }
+
+    /// Exact prefix viability: true iff some sentence of this grammar
+    /// starts with `kinds[pos..]` (a complete sentence counts — the
+    /// extension may be empty).
+    fn accepts_prefix(&self, kinds: &[PhaseKind], pos: usize) -> bool {
+        if pos >= kinds.len() {
+            return true; // empty remainder: every pattern has a sentence
+        }
+        match self {
+            PatternExpr::Kind(k) => kinds.len() - pos == 1 && kinds[pos] == *k,
+            PatternExpr::AnyOf(ks) => kinds.len() - pos == 1 && ks.contains(&kinds[pos]),
+            PatternExpr::Seq(parts) => {
+                let mut frontier = vec![pos];
+                for part in parts {
+                    // The remainder may end inside `part`...
+                    if frontier.iter().any(|&p| part.accepts_prefix(kinds, p)) {
+                        return true;
+                    }
+                    // ...or `part` completes and a later part consumes on.
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        next.extend(part.ends(kinds, p));
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        return false;
+                    }
+                }
+                frontier.contains(&kinds.len())
+            }
+            PatternExpr::Star(inner) | PatternExpr::Plus(inner) => {
+                // One repetition may be cut off by the end of the
+                // remainder; complete repetitions advance the position.
+                let mut reach = vec![pos];
+                let mut frontier = vec![pos];
+                while !frontier.is_empty() {
+                    if frontier.iter().any(|&p| inner.accepts_prefix(kinds, p)) {
+                        return true;
+                    }
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        for e in inner.ends(kinds, p) {
+                            if e > p && !reach.contains(&e) {
+                                reach.push(e);
+                                next.push(e);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                reach.contains(&kinds.len())
+            }
+            PatternExpr::Opt(inner) => inner.accepts_prefix(kinds, pos),
+            PatternExpr::Tree { open, leaf, close } => {
+                // Incremental parse of a preorder tree trace: every open
+                // node can still be completed, so any scan that neither
+                // violates the grammar nor continues past a completed
+                // root is a viable prefix.
+                let mut child_counts: Vec<usize> = Vec::new();
+                let mut root_done = false;
+                for k in &kinds[pos..] {
+                    if root_done {
+                        return false;
+                    }
+                    if k == leaf {
+                        match child_counts.last_mut() {
+                            Some(c) => *c += 1,
+                            None => root_done = true,
+                        }
+                    } else if k == open {
+                        child_counts.push(0);
+                    } else if k == close {
+                        match child_counts.pop() {
+                            Some(c) if c >= 1 => match child_counts.last_mut() {
+                                Some(parent) => *parent += 1,
+                                None => root_done = true,
+                            },
+                            _ => return false, // empty node or stray close
+                        }
+                    } else {
+                        return false;
+                    }
+                }
+                true
+            }
+            PatternExpr::Interleave(parts) => {
+                // A viable interleave prefix is a shuffle of viable
+                // member prefixes.
+                fn go(
+                    parts: &[PatternExpr],
+                    kinds: &[PhaseKind],
+                    pos: usize,
+                    taken: &mut Vec<Vec<PhaseKind>>,
+                ) -> bool {
+                    if pos == kinds.len() {
+                        return true; // all members hold viable prefixes
+                    }
+                    for m in 0..parts.len() {
+                        taken[m].push(kinds[pos]);
+                        if parts[m].accepts_prefix(&taken[m], 0) && go(parts, kinds, pos + 1, taken)
+                        {
+                            return true;
+                        }
+                        taken[m].pop();
+                    }
+                    false
+                }
+                let mut taken = vec![Vec::new(); parts.len()];
+                go(parts, &kinds[pos..], 0, &mut taken)
+            }
+        }
+    }
+}
+
 /// Static description of an archetype: its name, characteristic phase
 /// vocabulary, and phase grammar. Used in documentation output, by
 /// `describe()` helpers on the application types, and by the conformance
@@ -517,6 +864,87 @@ mod tests {
         assert!(!g.matches(&[Ingest, Transform, Emit]));
         assert!(!g.matches(&[Transform, Drain, Emit]));
         assert!(!g.matches(&[Ingest, Drain, Emit, Emit]));
+    }
+
+    #[test]
+    fn pattern_expr_round_trips_every_static_grammar() {
+        use PhaseKind::*;
+        // from_static must accept exactly what the static grammar accepts,
+        // spot-checked on each archetype's canonical traces.
+        let cases: Vec<(&ArchetypeInfo, Vec<PhaseKind>, Vec<PhaseKind>)> = vec![
+            (&ONE_DEEP_DC, vec![Split, Solve, Merge], vec![Split, Merge]),
+            (
+                &RECURSIVE_DC,
+                vec![Recurse, Solve, Solve, Merge],
+                vec![Recurse, Solve],
+            ),
+            (
+                &TASK_FARM,
+                vec![Seed, Work, Steal, Terminate],
+                vec![Seed, Terminate],
+            ),
+            (
+                &PIPELINE,
+                vec![Ingest, Transform, Drain, Emit],
+                vec![Ingest, Emit],
+            ),
+            (
+                &MESH_SPECTRAL,
+                vec![Io, Communication, GridOp, Reduction, Io],
+                vec![Io, Reduction, Io],
+            ),
+        ];
+        for (info, yes, no) in cases {
+            let e = PatternExpr::from_static(&info.grammar);
+            assert!(e.matches(&yes), "{}: {yes:?}", info.name);
+            assert!(info.grammar.matches(&yes), "{}: static {yes:?}", info.name);
+            assert!(!e.matches(&no), "{}: {no:?}", info.name);
+            assert!(!info.grammar.matches(&no), "{}: static {no:?}", info.name);
+        }
+    }
+
+    #[test]
+    fn seq_composition_concatenates_member_grammars() {
+        use PhaseKind::*;
+        let g = PatternExpr::seq(vec![
+            PatternExpr::from_static(&TASK_FARM.grammar),
+            PatternExpr::from_static(&MESH_SPECTRAL.grammar),
+            PatternExpr::from_static(&ONE_DEEP_DC.grammar),
+        ]);
+        assert!(g.matches(&[Seed, Work, Terminate, Io, GridOp, Io, Split, Solve, Merge]));
+        // Members out of order are rejected.
+        assert!(!g.matches(&[Io, GridOp, Io, Seed, Work, Terminate, Split, Solve, Merge]));
+        // A member missing entirely is rejected.
+        assert!(!g.matches(&[Seed, Work, Terminate, Split, Solve, Merge]));
+    }
+
+    #[test]
+    fn interleave_accepts_shuffles_and_rejects_reordered_members() {
+        use PhaseKind::*;
+        let g = PatternExpr::interleave(vec![
+            PatternExpr::from_static(&TASK_FARM.grammar),
+            PatternExpr::from_static(&ONE_DEEP_DC.grammar),
+        ]);
+        // Branch-ordered concatenation is one legal shuffle...
+        assert!(g.matches(&[Seed, Work, Terminate, Split, Solve, Merge]));
+        // ...as is a genuine interleaving...
+        assert!(g.matches(&[Seed, Split, Work, Solve, Merge, Terminate]));
+        // ...but each member's internal order must hold.
+        assert!(!g.matches(&[Work, Seed, Terminate, Split, Solve, Merge]));
+        assert!(!g.matches(&[Seed, Work, Terminate, Merge, Solve, Split]));
+    }
+
+    #[test]
+    fn interleave_of_tree_grammars_works() {
+        use PhaseKind::*;
+        // Two concurrent recursive D&C branches, merged by timestamp.
+        let g = PatternExpr::interleave(vec![
+            PatternExpr::from_static(&RECURSIVE_DC.grammar),
+            PatternExpr::from_static(&RECURSIVE_DC.grammar),
+        ]);
+        assert!(g.matches(&[Recurse, Solve, Solve, Solve, Merge, Solve]));
+        assert!(!g.matches(&[Solve])); // the other branch's trace is empty
+        assert!(!g.matches(&[Solve, Merge])); // no split yields two trees
     }
 
     #[test]

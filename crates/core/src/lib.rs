@@ -33,7 +33,7 @@ pub mod ops;
 pub mod parfor;
 pub mod trace;
 
-pub use archetype::{ArchetypeInfo, Phase, PhaseKind, PhasePattern};
+pub use archetype::{ArchetypeInfo, PatternExpr, Phase, PhaseKind, PhasePattern};
 pub use mode::ExecutionMode;
 pub use ops::{associative_fold, ReduceOp};
 pub use parfor::{forall, parfor, parfor_chunks, parfor_map, parfor_map_vec, parfor_reduce};

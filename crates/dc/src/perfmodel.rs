@@ -122,6 +122,28 @@ pub fn closest_recursion_policy(model: &MachineModel, branching: usize) -> Cutof
     CutoffPolicy::new(branching, closest_recursion_cutoff(model), 40)
 }
 
+/// Machine-independent estimate of the total work of sorting `n` items
+/// recursively: the sequential `c·n·log₂n` solve plus one linear merge
+/// pass per recursion level down to `cutoff`-sized leaves. This is the
+/// estimate a composition allocator (`crates/compose`) prices a sort
+/// stage with when sharing ranks between plan branches — flop-equivalents
+/// only, so the same plan allocates identically on every machine model.
+///
+/// ```
+/// use archetype_dc::perfmodel::mergesort_work_flops;
+/// // More merge levels -> more total work; never below the plain sort.
+/// assert!(mergesort_work_flops(4096, 64) > mergesort_work_flops(4096, 1024));
+/// assert!(mergesort_work_flops(4096, 8192) >= 4.0 * 4096.0 * 12.0);
+/// ```
+pub fn mergesort_work_flops(n: usize, cutoff: usize) -> f64 {
+    let levels = if n <= cutoff.max(1) {
+        0.0
+    } else {
+        (n as f64 / cutoff.max(1) as f64).log2().ceil()
+    };
+    sort_flops(n) + levels * merge_flops(n)
+}
+
 /// Predicted speedup over the modeled sequential mergesort.
 pub fn predict_one_deep_speedup(
     model: &MachineModel,

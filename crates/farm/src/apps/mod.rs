@@ -10,4 +10,4 @@ pub mod mandelbrot;
 pub mod sweep;
 
 pub use mandelbrot::{MandelOut, MandelbrotFarm, Tile};
-pub use sweep::{SweepFarm, SweepOut, SweepTask};
+pub use sweep::{GridSweepFarm, SweepFarm, SweepOut, SweepTask};

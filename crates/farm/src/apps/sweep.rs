@@ -192,6 +192,103 @@ impl Farm for SweepFarm {
     }
 }
 
+/// A **fixed-grid** parameter sweep: evaluate [`SweepFarm::objective`] at
+/// `points` equally spaced parameters and return *every* point's score,
+/// indexed, in a single merged list.
+///
+/// Where [`SweepFarm`] prunes adaptively — so the set of evaluated points
+/// depends on the steal/hint schedule — this farm's output is the full
+/// score table, bit-identical for every process count, machine model, and
+/// batching policy. That invariance is what downstream consumers need
+/// when the sweep is one stage of a composed plan (`crates/compose`):
+/// its output feeds a sort and a streaming digest whose results must not
+/// depend on how the sweep was scheduled. The cost irregularity is the
+/// same ~300× per-point spread as the adaptive sweep
+/// ([`SweepFarm::eval_terms`]), so the farm still stresses batching and
+/// stealing.
+#[derive(Clone, Debug)]
+pub struct GridSweepFarm {
+    /// Domain lower end.
+    pub lo: f64,
+    /// Domain upper end.
+    pub hi: f64,
+    /// Number of evaluation points.
+    pub points: u32,
+}
+
+impl GridSweepFarm {
+    /// The `i`-th evaluation parameter (midpoint rule over `points`
+    /// equal cells).
+    pub fn x(&self, i: u32) -> f64 {
+        let w = (self.hi - self.lo) / self.points as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Modeled flop-equivalents of the whole sweep — the
+    /// machine-independent work estimate a composition allocator prices
+    /// branches with.
+    pub fn total_flops(&self) -> f64 {
+        (0..self.points)
+            .map(|i| SweepFarm::eval_terms(self.x(i)) as f64 * FLOPS_PER_TERM)
+            .sum()
+    }
+
+    /// The score table a correct sweep must produce, computed directly.
+    pub fn reference_scores(&self) -> Vec<f64> {
+        (0..self.points)
+            .map(|i| SweepFarm::objective(self.x(i)))
+            .collect()
+    }
+}
+
+impl Farm for GridSweepFarm {
+    type Task = u32; // point index
+    type Out = Vec<(u32, f64)>; // (index, score), sorted by index
+    type Hint = ();
+
+    fn seed(&self) -> Vec<u32> {
+        (0..self.points).collect()
+    }
+
+    fn work(&self, i: u32, scope: &mut WorkScope<'_, Self>) {
+        let x = self.x(i);
+        let terms = SweepFarm::eval_terms(x);
+        scope.charge_flops(terms as f64 * FLOPS_PER_TERM);
+        scope.emit(vec![(i, SweepFarm::objective(x))]);
+    }
+
+    fn out_identity(&self) -> Vec<(u32, f64)> {
+        Vec::new()
+    }
+
+    /// Index-ordered merge of two disjoint sorted score lists —
+    /// associative and commutative because point indices are unique, so
+    /// the merged table is schedule-independent.
+    fn reduce(&self, a: Vec<(u32, f64)>, b: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(&(ka, _)), Some(&(kb, _))) => {
+                    if ka <= kb {
+                        out.push(ia.next().expect("peeked"));
+                    } else {
+                        out.push(ib.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => out.push(ia.next().expect("peeked")),
+                (None, Some(_)) => out.push(ib.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    fn task_flops(&self, _task: &u32) -> f64 {
+        0.0 // fully data-dependent; charged in `work`
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +381,46 @@ mod tests {
         let b = run();
         assert_eq!(a.results, b.results);
         assert_eq!(a.rank_times, b.rank_times);
+    }
+
+    #[test]
+    fn grid_sweep_scores_are_process_count_and_model_invariant() {
+        let farm = GridSweepFarm {
+            lo: 0.0,
+            hi: 2.0,
+            points: 60,
+        };
+        let expected: Vec<(u32, f64)> = (0..60)
+            .map(|i| (i, SweepFarm::objective(farm.x(i))))
+            .collect();
+        for model in [MachineModel::ibm_sp(), MachineModel::cray_t3d()] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let f = farm.clone();
+                let out = run_spmd(p, model, move |ctx| {
+                    run_farm(&f, ctx, FarmConfig::default()).0
+                });
+                for (r, got) in out.results.iter().enumerate() {
+                    assert_eq!(got, &expected, "p={p} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_sweep_total_flops_prices_the_irregular_work() {
+        let farm = GridSweepFarm {
+            lo: 0.0,
+            hi: 2.0,
+            points: 40,
+        };
+        let total = farm.total_flops();
+        assert!(total > 0.0);
+        // The estimate equals the sum of the per-point charges the farm
+        // actually makes.
+        let direct: f64 = (0..40)
+            .map(|i| SweepFarm::eval_terms(farm.x(i)) as f64 * 20.0)
+            .sum();
+        assert_eq!(total, direct);
+        assert_eq!(farm.reference_scores().len(), 40);
     }
 }

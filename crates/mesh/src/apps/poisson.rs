@@ -223,6 +223,22 @@ pub fn poisson_sweep_flops(nx: usize, ny: usize) -> f64 {
     8.0 * (nx * ny) as f64
 }
 
+/// Machine-independent estimate of the total work of solving `spec`:
+/// one sweep's flops times the iteration budget. An upper bound when the
+/// tolerance converges early; exact when `max_iters` is the binding
+/// limit (the usual case for the fixed-budget solves used in composed
+/// plans, where a composition allocator prices this branch against its
+/// siblings).
+///
+/// ```
+/// use archetype_mesh::apps::poisson::{poisson_estimate_flops, sine_problem};
+/// let spec = sine_problem(16, 1e-12, 100);
+/// assert_eq!(poisson_estimate_flops(&spec), 100.0 * 8.0 * 256.0);
+/// ```
+pub fn poisson_estimate_flops(spec: &PoissonSpec) -> f64 {
+    spec.max_iters as f64 * poisson_sweep_flops(spec.nx, spec.ny)
+}
+
 /// A standard test problem with a known smooth solution:
 /// `u(x,y) = sin(πx)·sin(πy)`, so `f = −2π²·sin(πx)·sin(πy)` — note the
 /// discrete operator converges to the PDE solution as `h → 0`.

@@ -35,6 +35,16 @@ pub struct Ctx {
     pub(crate) coll_seq: u64,
     /// Declared per-process working set, feeding the memory-pressure model.
     working_set_bytes: f64,
+    /// Scope id stamped into outgoing packets and required of matching
+    /// receives: `0` at the world, a member-list-derived hash inside a
+    /// [`Ctx::scoped`] section. Sibling scopes therefore cannot observe
+    /// each other's traffic even when their tags collide.
+    scope: u64,
+    /// `peers[local]` is the *world* rank behind local rank `local` in the
+    /// current scope — the mailbox's channels are indexed by world rank,
+    /// so scoped receives translate through this table. Identity at the
+    /// world.
+    peers: Vec<usize>,
 }
 
 impl Ctx {
@@ -55,17 +65,32 @@ impl Ctx {
             stats: RankStats::default(),
             coll_seq: 0,
             working_set_bytes: 0.0,
+            scope: 0,
+            peers: (0..nprocs).collect(),
         }
     }
 
-    /// This process's rank in `0..nprocs()`.
+    /// This process's rank in `0..nprocs()` — within the current scope
+    /// (see [`Ctx::scoped`]); equal to the world rank outside any scope.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of SPMD processes in the run.
+    /// Number of SPMD processes in the current scope (the whole run
+    /// outside any [`Ctx::scoped`] section).
     pub fn nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    /// This process's rank in the *world*, regardless of how deeply the
+    /// context is currently scoped.
+    pub fn global_rank(&self) -> usize {
+        self.peers[self.rank]
+    }
+
+    /// World ranks of the current scope's members, indexed by scope rank.
+    pub fn peers(&self) -> &[usize] {
+        &self.peers
     }
 
     /// The machine model driving the virtual clock.
@@ -132,6 +157,7 @@ impl Ctx {
         self.senders[to]
             .send(Packet {
                 from: self.rank,
+                scope: self.scope,
                 tag,
                 bytes,
                 arrival_time,
@@ -143,7 +169,9 @@ impl Ctx {
     /// Block for the next matching packet and charge receive-side costs.
     fn recv_packet(&mut self, from: usize, tag: Tag) -> Packet {
         assert!(from < self.nprocs, "recv from rank {from} out of range");
-        let pkt = self.mailbox.recv_matching(from, tag);
+        let pkt = self
+            .mailbox
+            .recv_matching(self.peers[from], self.scope, tag);
         if pkt.arrival_time > self.clock {
             self.stats.comm_time += pkt.arrival_time - self.clock;
             self.clock = pkt.arrival_time;
@@ -251,6 +279,97 @@ impl Ctx {
         self.recv(from, tag)
     }
 
+    /// Narrow this context to a subset of the current scope's ranks and
+    /// run `f` against the narrowed view: inside `f`, [`Ctx::rank`] /
+    /// [`Ctx::nprocs`] describe the subset, point-to-point and collective
+    /// operations address subset-local ranks, and **all** traffic — user
+    /// tags, collectives, archetype protocols — is matched in a fresh
+    /// scope derived from the member list, the parent scope, and `salt`.
+    /// Disjoint sibling scopes therefore run *any* SPMD code
+    /// concurrently without interfering, which is what lets whole
+    /// archetype skeletons (`run_farm`, `run_pipeline`,
+    /// `run_spmd_recursive`, mesh solvers) execute unchanged on a process
+    /// subgroup — the substrate of the composition archetype in
+    /// `crates/compose`.
+    ///
+    /// `members` lists the participating ranks as *current-scope* ranks,
+    /// strictly increasing; every member must call `scoped` with the same
+    /// list and `salt` (the usual SPMD contract, restricted to the
+    /// subset). Non-members simply don't call. The clock, statistics, and
+    /// working set carry across the boundary: virtual time spent inside
+    /// the scope is this rank's time like any other.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, MachineModel};
+    ///
+    /// // Halves run *different numbers* of collectives concurrently —
+    /// // impossible on the world, routine inside disjoint scopes.
+    /// let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+    ///     let half: Vec<usize> = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+    ///     let sum = ctx.scoped(&half, 7, |ctx| {
+    ///         let rounds = if ctx.peers()[0] == 0 { 3 } else { 1 };
+    ///         let mut acc = 0;
+    ///         for _ in 0..rounds {
+    ///             acc = ctx.all_reduce(ctx.global_rank() as u64, |a, b| a + b);
+    ///         }
+    ///         acc
+    ///     });
+    ///     ctx.all_reduce(sum, |a, b| a + b) // the world is intact afterwards
+    /// });
+    /// assert_eq!(out.results, vec![12, 12, 12, 12]); // 2*(0+1) + 2*(2+3)
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `members` is empty, not strictly increasing, out of
+    /// range, or does not contain the calling rank.
+    pub fn scoped<R>(&mut self, members: &[usize], salt: u64, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        assert!(!members.is_empty(), "a scope needs at least one member");
+        for w in members.windows(2) {
+            assert!(w[0] < w[1], "scope members must be strictly increasing");
+        }
+        assert!(
+            *members.last().expect("nonempty") < self.nprocs,
+            "scope member out of range"
+        );
+        let my_index = members
+            .iter()
+            .position(|&m| m == self.rank)
+            .expect("the calling rank must be a member of the scope");
+
+        let global: Vec<usize> = members.iter().map(|&m| self.peers[m]).collect();
+        let sub_senders: Vec<Sender<Packet>> =
+            members.iter().map(|&m| self.senders[m].clone()).collect();
+        // Child scope id: FNV-1a over the parent scope, the salt, and the
+        // members' world identities — so siblings (disjoint member lists),
+        // nesting levels (different parents), and repeated sections over
+        // the same members (different salts) all get distinct scopes.
+        let mut h: u64 = 0xcbf29ce484222325 ^ self.scope;
+        h = h.wrapping_mul(0x100000001b3);
+        h ^= salt;
+        h = h.wrapping_mul(0x100000001b3);
+        for &g in &global {
+            h ^= g as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+
+        let saved_rank = std::mem::replace(&mut self.rank, my_index);
+        let saved_nprocs = std::mem::replace(&mut self.nprocs, members.len());
+        let saved_scope = std::mem::replace(&mut self.scope, h);
+        let saved_seq = std::mem::replace(&mut self.coll_seq, 0);
+        let saved_senders = std::mem::replace(&mut self.senders, sub_senders);
+        let saved_peers = std::mem::replace(&mut self.peers, global);
+
+        let out = f(self);
+
+        self.rank = saved_rank;
+        self.nprocs = saved_nprocs;
+        self.scope = saved_scope;
+        self.coll_seq = saved_seq;
+        self.senders = saved_senders;
+        self.peers = saved_peers;
+        out
+    }
+
     /// Dismantle the context, returning its channel endpoints so the
     /// runner can recycle the network for the next `run_spmd` call.
     pub(crate) fn into_parts(self) -> (Vec<Sender<Packet>>, Mailbox) {
@@ -354,6 +473,109 @@ mod tests {
         let (small, total) = out.results[0];
         let second = total - small;
         assert!((second - 2.0 * small).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_siblings_with_colliding_tags_stay_isolated() {
+        use crate::model::MachineModel;
+        use crate::runner::run_spmd;
+        // Both halves run the *same* program with the same tags — only
+        // the scope ids differ. Every value observed must come from the
+        // caller's own half.
+        let out = run_spmd(4, MachineModel::ibm_sp(), |ctx| {
+            let half: Vec<usize> = if ctx.rank() < 2 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            };
+            let marker = (ctx.rank() / 2) as u64;
+            let got = ctx.scoped(&half, 1, |ctx| {
+                let partner = 1 - ctx.rank();
+                // Extra unmatched-order traffic to stress the buffer.
+                ctx.send(partner, 40, marker * 100);
+                ctx.send(partner, 41, marker);
+                let late: u64 = ctx.recv(partner, 41);
+                let early: u64 = ctx.recv(partner, 40);
+                (early, late)
+            });
+            let world = ctx.all_reduce(1u64, |a, b| a + b);
+            (got, world)
+        });
+        for (r, ((early, late), world)) in out.results.iter().enumerate() {
+            let m = (r / 2) as u64;
+            assert_eq!((*early, *late), (m * 100, m), "rank {r}");
+            assert_eq!(*world, 4);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_translate_ranks_and_restore_the_parent() {
+        use crate::model::MachineModel;
+        use crate::runner::run_spmd;
+        let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
+            let half: Vec<usize> = if ctx.rank() < 4 {
+                vec![0, 1, 2, 3]
+            } else {
+                vec![4, 5, 6, 7]
+            };
+            let (inner_sum, inner_peers) = ctx.scoped(&half, 2, |ctx| {
+                assert_eq!(ctx.nprocs(), 4);
+                let quarter: Vec<usize> = if ctx.rank() < 2 {
+                    vec![0, 1]
+                } else {
+                    vec![2, 3]
+                };
+                ctx.scoped(&quarter, 3, |ctx| {
+                    assert_eq!(ctx.nprocs(), 2);
+                    let s = ctx.all_reduce(ctx.global_rank() as u64, |a, b| a + b);
+                    (s, ctx.peers().to_vec())
+                })
+            });
+            assert_eq!(ctx.nprocs(), 8, "world restored");
+            assert_eq!(ctx.global_rank(), ctx.rank());
+            (inner_sum, inner_peers)
+        });
+        for (r, (sum, peers)) in out.results.iter().enumerate() {
+            let base = r - r % 2;
+            assert_eq!(*sum, (base + base + 1) as u64, "rank {r}");
+            assert_eq!(peers, &vec![base, base + 1], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_scoped_sections_over_same_members_get_distinct_scopes() {
+        use crate::model::MachineModel;
+        use crate::runner::run_spmd;
+        // Two back-to-back sections over the same member list but
+        // different salts: a send left pending from the first section
+        // (matched later) must not satisfy the second section's receive.
+        let out = run_spmd(2, MachineModel::ibm_sp(), |ctx| {
+            let all = [0usize, 1];
+            if ctx.rank() == 0 {
+                ctx.scoped(&all, 10, |ctx| ctx.send(1, 9, 111u64));
+                ctx.scoped(&all, 11, |ctx| ctx.send(1, 9, 222u64));
+                0
+            } else {
+                // Receive the *second* section's message first.
+                let b = ctx.scoped(&all, 11, |ctx| ctx.recv::<u64>(0, 9));
+                let a = ctx.scoped(&all, 10, |ctx| ctx.recv::<u64>(0, 9));
+                assert_eq!((a, b), (111, 222));
+                a + b
+            }
+        });
+        assert_eq!(out.results[1], 333);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a member")]
+    fn scoped_requires_membership() {
+        use crate::model::MachineModel;
+        use crate::runner::run_spmd_quiet;
+        run_spmd_quiet(2, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.scoped(&[0], 0, |_| ());
+            }
+        });
     }
 
     #[test]

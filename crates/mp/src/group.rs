@@ -350,6 +350,84 @@ impl Group {
             .collect()
     }
 
+    /// Root-only reduction to group index `root`: returns
+    /// `Some(op(v₀, op(v₁, …)))` — the fold of all members' contributions
+    /// in ascending group order — on the root and `None` elsewhere. The
+    /// group-scoped counterpart of an `MPI_Reduce`, completing the
+    /// collective family ([`Group::all_reduce`] for everyone-gets-it,
+    /// [`Group::gather`] for the unfolded vector).
+    ///
+    /// `op` must be associative but — unlike [`Group::all_reduce`]'s —
+    /// need **not** be commutative: the binomial combining tree always
+    /// folds a contiguous, ascending range of group ranks, so the result
+    /// equals the left-to-right fold exactly. Costs ⌈log₂ n⌉ message
+    /// rounds (plus one hop when `root != 0`) instead of the gather's
+    /// n − 1 into one rank.
+    ///
+    /// ```
+    /// use archetype_mp::{run_spmd, Group, MachineModel};
+    ///
+    /// let out = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+    ///     let mut g = Group::world(ctx);
+    ///     // Non-commutative op: string-ish concatenation by powers.
+    ///     g.reduce(ctx, 2, vec![ctx.rank() as u64], |mut a, b| {
+    ///         a.extend(b);
+    ///         a
+    ///     })
+    /// });
+    /// assert_eq!(out.results[2], Some(vec![0, 1, 2, 3, 4])); // ascending fold
+    /// assert_eq!(out.results[0], None);
+    /// ```
+    pub fn reduce<T, F>(&mut self, ctx: &mut Ctx, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Payload,
+        F: Fn(T, T) -> T,
+    {
+        let n = self.len();
+        let base = self.next_tag();
+        let me = self.my_index;
+        let mut acc = Some(value);
+        // Binomial tree rooted at group index 0, combining ascending
+        // contiguous ranges so the fold order is exactly group order.
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while step < n {
+            if me % (2 * step) == step {
+                ctx.send(
+                    self.members[me - step],
+                    base | round,
+                    acc.take().expect("contribution not yet donated"),
+                );
+                break;
+            }
+            if me.is_multiple_of(2 * step) && me + step < n {
+                let other: T = ctx.recv(self.members[me + step], base | round);
+                acc = Some(op(
+                    acc.take().expect("accumulating rank holds a value"),
+                    other,
+                ));
+            }
+            step <<= 1;
+            round += 1;
+        }
+        // Index 0 now holds the full fold; ship it to a non-zero root.
+        if root == 0 {
+            return if me == 0 { acc } else { None };
+        }
+        match me {
+            0 => {
+                ctx.send(
+                    self.members[root],
+                    base | 63,
+                    acc.expect("index 0 holds the fold"),
+                );
+                None
+            }
+            _ if me == root => Some(ctx.recv(self.members[0], base | 63)),
+            _ => None,
+        }
+    }
+
     /// Linear gather to group index `root`.
     pub fn gather<T: Payload>(&mut self, ctx: &mut Ctx, root: usize, value: T) -> Option<Vec<T>> {
         let n = self.len();
@@ -690,6 +768,90 @@ mod tests {
                 assert!(got.is_none());
             }
         }
+    }
+
+    #[test]
+    fn group_reduce_folds_in_ascending_group_order() {
+        // Non-commutative op (ordered concatenation) over a non-contiguous
+        // group with a non-zero root, across power-of-two and odd sizes.
+        for p in [2usize, 3, 4, 5, 7, 8] {
+            let out = run_spmd(p + 1, MachineModel::ibm_sp(), move |ctx| {
+                // All but the last rank form the group.
+                let colors: Vec<usize> = (0..ctx.nprocs())
+                    .map(|r| usize::from(r == ctx.nprocs() - 1))
+                    .collect();
+                let mut g = Group::split(ctx, &colors);
+                if ctx.rank() == ctx.nprocs() - 1 {
+                    return None;
+                }
+                let root = (p - 1).min(2);
+                g.reduce(ctx, root, vec![g.rank() as u64], |mut a, b| {
+                    a.extend(b);
+                    a
+                })
+            });
+            let root = (p - 1).min(2);
+            for (r, got) in out.results.iter().enumerate() {
+                if r == root {
+                    let expected: Vec<u64> = (0..p as u64).collect();
+                    assert_eq!(got.as_ref(), Some(&expected), "p={p}");
+                } else {
+                    assert!(got.is_none(), "p={p} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_reduce_matches_all_reduce_for_commutative_ops() {
+        let out = run_spmd(6, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| r % 2).collect();
+            let mut g = Group::split(ctx, &colors);
+            let red = g.reduce(ctx, 0, ctx.rank() as u64, |a, b| a + b);
+            let all = g.all_reduce(ctx, ctx.rank() as u64, |a, b| a + b);
+            (red, all)
+        });
+        for (r, (red, all)) in out.results.iter().enumerate() {
+            if r < 2 {
+                assert_eq!(red.unwrap(), *all, "group root rank {r}");
+            } else {
+                assert!(red.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_group_reduce_is_message_free() {
+        let out = run_spmd(3, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..3).collect(); // everyone alone
+            let mut g = Group::split(ctx, &colors);
+            g.reduce(ctx, 0, ctx.rank() as u64 * 5, |a, b| a + b)
+        });
+        for (r, v) in out.results.iter().enumerate() {
+            assert_eq!(*v, Some(r as u64 * 5));
+        }
+        assert_eq!(out.stats.total_msgs(), 0);
+    }
+
+    #[test]
+    fn group_reduce_empty_payloads_round_trip() {
+        // Zero-byte contributions must traverse the combining tree and
+        // keep their (empty) shape; only latency is charged.
+        let out = run_spmd(5, MachineModel::ibm_sp(), |ctx| {
+            let colors = vec![0usize; ctx.nprocs()];
+            let mut g = Group::split(ctx, &colors);
+            g.reduce(ctx, 1, Vec::<u64>::new(), |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+        });
+        assert_eq!(out.results[1], Some(Vec::new()));
+        assert!(out
+            .results
+            .iter()
+            .enumerate()
+            .all(|(r, v)| r == 1 || v.is_none()));
+        assert!(out.elapsed_virtual >= MachineModel::ibm_sp().latency);
     }
 
     #[test]

@@ -75,5 +75,5 @@ pub use model::{MachineModel, MemoryModel};
 pub use payload::{FixedSize, Payload, Shared};
 pub use runner::{run_spmd, run_spmd_quiet, run_spmd_unpooled, SpmdResult};
 pub use stats::{RankStats, RunStats};
-pub use tags::{farm_tag, pipe_tag, FarmTag, PipeTag};
+pub use tags::{compose_tag, farm_tag, pipe_tag, ComposeTag, FarmTag, PipeTag};
 pub use topology::{ProcessGrid2, ProcessGrid3};

@@ -5,9 +5,12 @@
 //! (like MPI's non-overtaking rule) while letting a receiver block on a
 //! specific sender without inspecting traffic from others. Messages pulled
 //! off the channel while waiting for a different tag are buffered in a
-//! per-sender `HashMap<Tag, VecDeque>` — matching a buffered tag is O(1)
-//! instead of a linear scan over everything pending, while per-(sender,
-//! tag) FIFO order is preserved by the queue within each bucket.
+//! per-sender `HashMap<(Scope, Tag), VecDeque>` — matching a buffered
+//! (scope, tag) pair is O(1) instead of a linear scan over everything
+//! pending, while per-(sender, scope, tag) FIFO order is preserved by the
+//! queue within each bucket. The scope key is what isolates
+//! [`crate::Ctx::scoped`] sections: sibling scopes may reuse identical
+//! tags without their traffic ever cross-matching.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
@@ -16,39 +19,47 @@ use crate::packet::Packet;
 
 /// The receive side owned by one rank: `from[s]` is the channel carrying
 /// messages sent by rank `s`, and `pending[s]` holds messages from `s`
-/// already pulled off the channel but not yet matched, bucketed by tag.
+/// already pulled off the channel but not yet matched, bucketed by
+/// (scope, tag).
 pub struct Mailbox {
     from: Vec<Receiver<Packet>>,
-    pending: Vec<HashMap<u64, VecDeque<Packet>>>,
+    pending: Vec<HashMap<(u64, u64), VecDeque<Packet>>>,
 }
 
 impl Mailbox {
-    /// Blocking receive of the next message from `sender` carrying `tag`.
+    /// Blocking receive of the next message from `sender` carrying `tag`
+    /// inside scope `scope` (see [`crate::Ctx::scoped`]; the world is
+    /// scope `0`).
     ///
-    /// Messages from `sender` with other tags are buffered, preserving
-    /// their order, until a matching receive is posted.
+    /// Messages from `sender` with other (scope, tag) pairs are buffered,
+    /// preserving their order, until a matching receive is posted — so a
+    /// message sent inside one scoped section can never satisfy a receive
+    /// posted in a different scope, even if the raw tags collide.
     ///
     /// # Panics
     /// Panics if the sending rank has terminated without ever sending a
     /// matching message (which in a correct SPMD program is a deadlock bug).
-    pub fn recv_matching(&mut self, sender: usize, tag: u64) -> Packet {
-        if let Some(q) = self.pending[sender].get_mut(&tag) {
+    pub fn recv_matching(&mut self, sender: usize, scope: u64, tag: u64) -> Packet {
+        if let Some(q) = self.pending[sender].get_mut(&(scope, tag)) {
             if let Some(pkt) = q.pop_front() {
                 if q.is_empty() {
-                    self.pending[sender].remove(&tag);
+                    self.pending[sender].remove(&(scope, tag));
                 }
                 return pkt;
             }
         }
         loop {
             let pkt = self.from[sender].recv().unwrap_or_else(|_| {
-                panic!("rank terminated while a receive (from={sender}, tag={tag}) was pending")
+                panic!(
+                    "rank terminated while a receive (from={sender}, scope={scope}, tag={tag}) \
+                     was pending"
+                )
             });
-            if pkt.tag == tag {
+            if pkt.scope == scope && pkt.tag == tag {
                 return pkt;
             }
             self.pending[sender]
-                .entry(pkt.tag)
+                .entry((pkt.scope, pkt.tag))
                 .or_default()
                 .push_back(pkt);
         }
@@ -95,8 +106,13 @@ mod tests {
     use crate::packet::PacketBody;
 
     fn pkt(from: usize, tag: u64, val: i32) -> Packet {
+        pkt_scoped(from, 0, tag, val)
+    }
+
+    fn pkt_scoped(from: usize, scope: u64, tag: u64, val: i32) -> Packet {
         Packet {
             from,
+            scope,
             tag,
             bytes: 4,
             arrival_time: 0.0,
@@ -116,8 +132,8 @@ mod tests {
         let (tx, mut mb) = build_network(2);
         tx[0][1].send(pkt(1, 5, 10)).unwrap();
         tx[0][1].send(pkt(1, 5, 20)).unwrap();
-        let a = mb[0].recv_matching(1, 5);
-        let b = mb[0].recv_matching(1, 5);
+        let a = mb[0].recv_matching(1, 0, 5);
+        let b = mb[0].recv_matching(1, 0, 5);
         assert_eq!(val(a), 10);
         assert_eq!(val(b), 20);
     }
@@ -130,10 +146,10 @@ mod tests {
         tx[0][1].send(pkt(1, 9, 2)).unwrap();
         tx[0][1].send(pkt(1, 9, 3)).unwrap();
         tx[0][1].send(pkt(1, 8, 99)).unwrap();
-        assert_eq!(val(mb[0].recv_matching(1, 8)), 99);
-        assert_eq!(val(mb[0].recv_matching(1, 9)), 1);
-        assert_eq!(val(mb[0].recv_matching(1, 9)), 2);
-        assert_eq!(val(mb[0].recv_matching(1, 9)), 3);
+        assert_eq!(val(mb[0].recv_matching(1, 0, 8)), 99);
+        assert_eq!(val(mb[0].recv_matching(1, 0, 9)), 1);
+        assert_eq!(val(mb[0].recv_matching(1, 0, 9)), 2);
+        assert_eq!(val(mb[0].recv_matching(1, 0, 9)), 3);
         assert_eq!(mb[0].unconsumed(), 0);
     }
 
@@ -143,9 +159,9 @@ mod tests {
         tx[0][1].send(pkt(1, 1, 100)).unwrap();
         tx[0][1].send(pkt(1, 2, 200)).unwrap();
         // Ask for tag 2 first; tag-1 message must be buffered, not lost.
-        let b = mb[0].recv_matching(1, 2);
+        let b = mb[0].recv_matching(1, 0, 2);
         assert_eq!(val(b), 200);
-        let a = mb[0].recv_matching(1, 1);
+        let a = mb[0].recv_matching(1, 0, 1);
         assert_eq!(val(a), 100);
         assert_eq!(mb[0].unconsumed(), 0);
     }
@@ -157,7 +173,7 @@ mod tests {
         tx[0][1].send(pkt(1, 8, 2)).unwrap();
         tx[0][1].send(pkt(1, 9, 3)).unwrap();
         // Matching tag 8 buffers the first tag-9 packet.
-        mb[0].recv_matching(1, 8);
+        mb[0].recv_matching(1, 0, 8);
         assert_eq!(mb[0].unconsumed(), 2);
     }
 
@@ -167,9 +183,9 @@ mod tests {
         tx[2][0].send(pkt(0, 1, 7)).unwrap();
         tx[2][1].send(pkt(1, 1, 8)).unwrap();
         // Receive from rank 1 first even though rank 0's message arrived first.
-        let b = mb[2].recv_matching(1, 1);
+        let b = mb[2].recv_matching(1, 0, 1);
         assert_eq!(val(b), 8);
-        let a = mb[2].recv_matching(0, 1);
+        let a = mb[2].recv_matching(0, 0, 1);
         assert_eq!(val(a), 7);
     }
 
@@ -182,8 +198,34 @@ mod tests {
         // Receive in reverse order: every receive after the first hits the
         // tag index rather than re-scanning the whole pending set.
         for t in (0..256u64).rev() {
-            assert_eq!(val(mb[0].recv_matching(1, t)), t as i32);
+            assert_eq!(val(mb[0].recv_matching(1, 0, t)), t as i32);
         }
+        assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    #[test]
+    fn same_tag_different_scopes_do_not_alias() {
+        let (tx, mut mb) = build_network(2);
+        // Two messages with the same (sender, tag) but different scopes;
+        // each receive must match only its own scope, in either order.
+        tx[0][1].send(pkt_scoped(1, 7, 3, 111)).unwrap();
+        tx[0][1].send(pkt_scoped(1, 0, 3, 222)).unwrap();
+        assert_eq!(val(mb[0].recv_matching(1, 0, 3)), 222);
+        assert_eq!(val(mb[0].recv_matching(1, 7, 3)), 111);
+        assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    #[test]
+    fn fifo_order_holds_within_one_scope_across_interleaved_scopes() {
+        let (tx, mut mb) = build_network(2);
+        tx[0][1].send(pkt_scoped(1, 5, 9, 1)).unwrap();
+        tx[0][1].send(pkt_scoped(1, 6, 9, 10)).unwrap();
+        tx[0][1].send(pkt_scoped(1, 5, 9, 2)).unwrap();
+        tx[0][1].send(pkt_scoped(1, 6, 9, 20)).unwrap();
+        assert_eq!(val(mb[0].recv_matching(1, 5, 9)), 1);
+        assert_eq!(val(mb[0].recv_matching(1, 5, 9)), 2);
+        assert_eq!(val(mb[0].recv_matching(1, 6, 9)), 10);
+        assert_eq!(val(mb[0].recv_matching(1, 6, 9)), 20);
         assert_eq!(mb[0].unconsumed(), 0);
     }
 }

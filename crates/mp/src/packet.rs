@@ -24,6 +24,11 @@ pub enum PacketBody {
 pub struct Packet {
     /// Sending rank.
     pub from: usize,
+    /// Scope id of the sending context ([`crate::Ctx::scoped`]): `0` for
+    /// the world, a member-list-derived hash inside a scoped section.
+    /// Matching requires scope equality, so traffic from sibling scopes —
+    /// even with colliding tags — can never satisfy each other's receives.
+    pub scope: u64,
     /// User- or collective-assigned tag used for matching.
     pub tag: u64,
     /// Payload size in bytes, as reported by [`crate::Payload::size_bytes`].
@@ -38,6 +43,7 @@ impl std::fmt::Debug for Packet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Packet")
             .field("from", &self.from)
+            .field("scope", &self.scope)
             .field("tag", &self.tag)
             .field("bytes", &self.bytes)
             .field("arrival_time", &self.arrival_time)
@@ -60,6 +66,7 @@ mod tests {
     fn packet_roundtrips_owned_payload_through_any() {
         let p = Packet {
             from: 3,
+            scope: 0,
             tag: 7,
             bytes: 24,
             arrival_time: 1.5,
@@ -77,6 +84,7 @@ mod tests {
         let arc: Arc<dyn std::any::Any + Send + Sync> = Arc::new(vec![9u32, 8]);
         let p = Packet {
             from: 0,
+            scope: 0,
             tag: 1,
             bytes: 8,
             arrival_time: 0.0,
@@ -93,6 +101,7 @@ mod tests {
     fn debug_format_mentions_sender_and_tag() {
         let p = Packet {
             from: 1,
+            scope: 0,
             tag: 42,
             bytes: 0,
             arrival_time: 0.0,

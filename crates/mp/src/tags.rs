@@ -10,11 +10,14 @@
 //! | `1 << 62`       | group collectives ([`crate::Group`])      |
 //! | `1 << 61`       | farm protocol (this module)               |
 //! | `1 << 60` alone | pipeline protocol (this module)           |
+//! | `1 << 59` alone | composition handoff (this module)         |
 //! | rest            | free for application point-to-point use   |
 //!
-//! (A farm tag may have bit 60 set *inside* its kind field, but always
-//! together with bit 61, so the pipeline namespace — bit 60 with bits
-//! 61–63 clear — never collides with it.)
+//! (A farm tag may have bits 59–60 set *inside* its kind field, but
+//! always together with bit 61, and a pipeline tag may set bit 59 inside
+//! its kind field but always together with bit 60 — so the pipeline
+//! namespace — bit 60 with bits 61–63 clear — and the composition
+//! namespace — bit 59 with bits 60–63 clear — never collide with either.)
 //!
 //! The farm namespace carries the task-farm archetype's message
 //! kinds, each versioned by the farm's round number so that back-to-back
@@ -113,10 +116,73 @@ pub const fn pipe_tag(kind: PipeTag, edge: u64) -> Tag {
     PIPE_TAG_BASE | (kind.code() << 59) | (edge & ((1 << 59) - 1))
 }
 
+/// Base bit of the composition subsystem's inter-stage handoff namespace.
+pub const COMPOSE_TAG_BASE: u64 = 1 << 59;
+
+/// The message kinds of the composition executor's handoff protocol
+/// (`crates/compose`): plan values moving between a parent group's root
+/// and its `Par` branches' roots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComposeTag {
+    /// A branch input travelling from the parent root to a branch root.
+    Input,
+    /// A branch output (with its trace) travelling back to the parent root.
+    Output,
+}
+
+impl ComposeTag {
+    const fn code(self) -> u64 {
+        match self {
+            ComposeTag::Input => 0,
+            ComposeTag::Output => 1,
+        }
+    }
+}
+
+/// The tag for composition handoff kind `kind` at plan node `node` (the
+/// preorder index of the `Par`/`Replicate` node performing the handoff,
+/// unique within one plan).
+///
+/// ```
+/// use archetype_mp::tags::{compose_tag, ComposeTag, COMPOSE_TAG_BASE};
+/// let t = compose_tag(ComposeTag::Input, 3);
+/// assert_ne!(t, compose_tag(ComposeTag::Output, 3)); // kinds are disjoint
+/// assert_ne!(t, compose_tag(ComposeTag::Input, 4)); // nodes are disjoint
+/// assert_eq!(t & COMPOSE_TAG_BASE, COMPOSE_TAG_BASE); // inside the namespace
+/// assert_eq!(t >> 60, 0); // and outside every other namespace
+/// ```
+pub const fn compose_tag(kind: ComposeTag, node: u64) -> Tag {
+    COMPOSE_TAG_BASE | (kind.code() << 57) | (node & ((1 << 57) - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::COLLECTIVE_TAG_BASE;
+
+    #[test]
+    fn compose_namespace_is_disjoint_from_all_others() {
+        let t = compose_tag(ComposeTag::Output, 9);
+        assert_eq!(t & COLLECTIVE_TAG_BASE, 0, "not a world collective tag");
+        assert_eq!(t & (1 << 62), 0, "not a group collective tag");
+        assert_eq!(t & (1 << 61), 0, "not a farm tag");
+        assert_eq!(t & (1 << 60), 0, "not a pipeline tag");
+        assert_ne!(t & COMPOSE_TAG_BASE, 0);
+        // Farm and pipeline tags always carry their own base bit, so they
+        // can never fall inside the compose namespace.
+        assert_ne!(farm_tag(FarmTag::Wave, 1) & (1 << 61), 0);
+        assert_ne!(pipe_tag(PipeTag::Item, 1) & (1 << 60), 0);
+    }
+
+    #[test]
+    fn compose_kinds_and_nodes_never_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in [ComposeTag::Input, ComposeTag::Output] {
+            for node in [0u64, 1, 2, 3, 17, 1000] {
+                assert!(seen.insert(compose_tag(kind, node)));
+            }
+        }
+    }
 
     #[test]
     fn pipe_kinds_and_edges_never_collide() {

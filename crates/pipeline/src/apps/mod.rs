@@ -5,4 +5,4 @@ pub mod imagechain;
 pub mod topk;
 
 pub use imagechain::{BlurStage, GradientStage, ImageChain, ImageSummary, ImageTile, QuantStage};
-pub use topk::{Digest, NormalizeStage, SampleChunk, TopKStream, TrimStage};
+pub use topk::{ChunkedStream, Digest, NormalizeStage, SampleChunk, TopKStream, TrimStage};

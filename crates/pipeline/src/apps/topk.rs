@@ -248,11 +248,143 @@ impl Pipeline for TopKStream {
     }
 }
 
+/// A top-k / percentile pipeline over a **provided** value list rather
+/// than a synthetic stream: `values` is chunked into
+/// [`SampleChunk`]s of `chunk_len`, normalized, trimmed, and folded into
+/// a [`Digest`] exactly like [`TopKStream`].
+///
+/// This is the pipeline shape a *composed* plan needs (`crates/compose`):
+/// an upstream stage (a sort, a solver, a sweep) produces the data, and
+/// the pipeline streams over it. The values are held behind an `Arc` so
+/// that cloning the pipeline onto every SPMD rank shares one allocation.
+#[derive(Clone, Debug)]
+pub struct ChunkedStream {
+    /// The samples to stream, in order.
+    pub values: std::sync::Arc<Vec<f64>>,
+    /// Samples per chunk.
+    pub chunk_len: usize,
+    normalize: NormalizeStage,
+    trim: TrimStage,
+    k: usize,
+    buckets: usize,
+}
+
+impl ChunkedStream {
+    /// Stream `values` in chunks of `chunk_len` into a top-`k` +
+    /// `buckets`-bucket digest, trimming at `cutoff` after
+    /// log-compression.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn new(values: Vec<f64>, chunk_len: usize, k: usize, buckets: usize, cutoff: f64) -> Self {
+        assert!(chunk_len > 0, "chunks need at least one sample");
+        ChunkedStream {
+            values: std::sync::Arc::new(values),
+            chunk_len,
+            normalize: NormalizeStage,
+            trim: TrimStage { cutoff },
+            k,
+            buckets,
+        }
+    }
+
+    /// Modeled flop-equivalents of streaming one sample through the
+    /// whole role chain (ingest + every stage + emit) for a top-`k`
+    /// digest — priced through the actual cost hooks on a
+    /// single-sample probe chunk, so retuning any stage's `flops`
+    /// retunes every estimate derived from it.
+    pub fn flops_per_sample(k: usize) -> f64 {
+        let probe = ChunkedStream::new(vec![1.0], 1, k, 1, 1.0);
+        let chunk = probe.ingest(0).expect("one probe sample");
+        probe.ingest_flops(&chunk)
+            + probe.stages().iter().map(|s| s.flops(&chunk)).sum::<f64>()
+            + probe.emit_flops(&chunk)
+    }
+
+    /// Modeled flop-equivalents of streaming the whole list — the
+    /// machine-independent work estimate a composition allocator prices
+    /// this stage with.
+    pub fn total_flops(&self) -> f64 {
+        self.values.len() as f64 * Self::flops_per_sample(self.k)
+    }
+}
+
+impl Pipeline for ChunkedStream {
+    type Item = SampleChunk;
+    type Out = Digest;
+
+    fn ingest(&self, seq: u64) -> Option<SampleChunk> {
+        let first = seq as usize * self.chunk_len;
+        if first >= self.values.len() {
+            return None;
+        }
+        let end = (first + self.chunk_len).min(self.values.len());
+        Some(SampleChunk {
+            first: first as u64,
+            values: self.values[first..end].to_vec(),
+        })
+    }
+
+    fn ingest_flops(&self, item: &SampleChunk) -> f64 {
+        item.values.len() as f64 * 8.0
+    }
+
+    fn stages(&self) -> Vec<&dyn Stage<SampleChunk>> {
+        vec![&self.normalize, &self.trim]
+    }
+
+    fn out_identity(&self) -> Digest {
+        Digest::new(self.k, self.buckets, 0.0, self.trim.cutoff)
+    }
+
+    fn emit(&self, mut acc: Digest, _seq: u64, item: SampleChunk) -> Digest {
+        for &v in &item.values {
+            acc.add(v);
+        }
+        acc
+    }
+
+    fn emit_flops(&self, item: &SampleChunk) -> f64 {
+        item.values.len() as f64 * (4.0 + self.k as f64 / 4.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::skeleton::{run_pipeline, run_sequential, PipelineConfig};
     use archetype_mp::{run_spmd, MachineModel};
+
+    #[test]
+    fn chunked_stream_digest_is_process_count_invariant() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let stream = ChunkedStream::new(values, 64, 8, 32, 3.0);
+        let (expected, chunks) = run_sequential(&stream);
+        assert_eq!(chunks, 8); // ceil(500 / 64)
+        for p in [1usize, 2, 4, 7, 8] {
+            let s = stream.clone();
+            let out = run_spmd(p, MachineModel::ibm_sp(), move |ctx| {
+                run_pipeline(&s, ctx, PipelineConfig::default()).0
+            });
+            assert!(out.results.iter().all(|d| *d == expected), "p={p}");
+        }
+    }
+
+    #[test]
+    fn chunked_stream_covers_every_value_once() {
+        let values: Vec<f64> = (0..130).map(|i| i as f64 * 1e-3).collect();
+        let stream = ChunkedStream::new(values.clone(), 32, 4, 16, 10.0);
+        let mut seen = Vec::new();
+        let mut seq = 0;
+        while let Some(chunk) = stream.ingest(seq) {
+            assert_eq!(chunk.first as usize, seen.len());
+            seen.extend(chunk.values);
+            seq += 1;
+        }
+        assert_eq!(seq, 5); // 4 full chunks + 1 ragged tail
+        assert_eq!(seen, values);
+        assert!(stream.total_flops() > 0.0);
+    }
 
     #[test]
     fn parallel_digests_match_the_sequential_oracle() {

@@ -74,6 +74,11 @@ pub use archetype_farm as farm;
 /// `archetype-pipeline`).
 pub use archetype_pipeline as pipeline;
 
+/// The composition archetype: the plan algebra, model-driven allocator,
+/// and executor running DAGs of archetype instances on disjoint process
+/// groups (`crates/compose`).
+pub use archetype_compose as compose;
+
 /// SPMD message-passing substrate with virtual-time machine models
 /// (re-export of `archetype-mp`).
 pub use archetype_mp as mp;

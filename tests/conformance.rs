@@ -11,6 +11,9 @@
 
 use proptest::prelude::*;
 
+use parallel_archetypes::compose::{
+    forecast_input, forecast_plan, run_plan_traced, ForecastConfig, Plan, SweepJob,
+};
 use parallel_archetypes::core::archetype::{
     ArchetypeInfo, MESH_SPECTRAL, ONE_DEEP_DC, PIPELINE, RECURSIVE_DC, TASK_FARM,
 };
@@ -19,6 +22,7 @@ use parallel_archetypes::dc::skeleton::run_shared;
 use parallel_archetypes::dc::{
     run_shared_recursive, run_spmd_recursive, CutoffPolicy, OneDeepMergesort, RecursiveMergesort,
 };
+use parallel_archetypes::farm::apps::GridSweepFarm;
 use parallel_archetypes::farm::{run_farm_traced, Farm, FarmConfig, WorkScope};
 use parallel_archetypes::mesh::apps::poisson::{poisson_spmd_traced, sine_problem};
 use parallel_archetypes::mp::{run_spmd, MachineModel, ProcessGrid2};
@@ -200,6 +204,68 @@ proptest! {
         });
         assert_conforms(&TASK_FARM, &trace.kinds(), "run_farm_traced");
         prop_assert!(trace.kinds().iter().all(|k| TASK_FARM.phases.contains(k)));
+    }
+
+    #[test]
+    fn composed_plan_traces_conform_to_the_derived_grammar(
+        p in 1usize..9,
+        sweep_points in 8u32..32,
+        mesh_n in 8usize..16,
+        mesh_iters in 5usize..40,
+    ) {
+        // The flagship composite — (farm ∥ mesh) → recursive DC → pipeline
+        // — must emit a composite trace accepted by the grammar *derived*
+        // from its members' archetype grammars, at every process count.
+        let cfg = ForecastConfig { sweep_points, mesh_n, mesh_iters };
+        let plan = forecast_plan(cfg);
+        let trace = PhaseTrace::new();
+        run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+            run_plan_traced(ctx, &plan, forecast_input(), Some(&trace)).1
+        });
+        let kinds = trace.kinds();
+        prop_assert!(
+            plan.grammar().matches(&kinds),
+            "p={p}: composite trace {kinds:?} rejected by the derived grammar"
+        );
+    }
+
+    #[test]
+    fn replicated_plan_traces_conform_sequenced_and_interleaved(
+        p in 1usize..9,
+        copies in 1usize..4,
+        points in 4u32..16,
+    ) {
+        // A Replicate of farm sweeps: the canonical branch-ordered trace
+        // must satisfy both the sequence-composed grammar and its
+        // shuffle-closed (interleaved) variant.
+        let plan = Plan::replicate(
+            copies,
+            Plan::atom(SweepJob {
+                farm: GridSweepFarm { lo: 0.0, hi: 1.0, points },
+            }),
+        );
+        let input = parallel_archetypes::compose::Value::Tuple(vec![
+            parallel_archetypes::compose::Value::Unit;
+            copies
+        ]);
+        let trace = PhaseTrace::new();
+        run_spmd(p, MachineModel::cray_t3d(), |ctx| {
+            run_plan_traced(ctx, &plan, input.clone(), Some(&trace)).0
+        });
+        let kinds = trace.kinds();
+        prop_assert!(
+            plan.grammar().matches(&kinds),
+            "p={p} copies={copies}: {kinds:?} rejected by the derived grammar"
+        );
+        // The interleaved matcher searches order-preserving shuffles
+        // (worst-case exponential, viability-pruned to near-linear on
+        // canonical traces) — keep it off the pathologically long ones.
+        if kinds.len() <= 60 {
+            prop_assert!(
+                plan.grammar_interleaved().matches(&kinds),
+                "p={p} copies={copies}: {kinds:?} rejected by the interleaved grammar"
+            );
+        }
     }
 
     #[test]

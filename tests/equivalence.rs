@@ -3,6 +3,9 @@
 //! version 1, the rayon version 1, and the distributed-memory version 2
 //! of every application compute the same thing.
 
+use parallel_archetypes::compose::{
+    forecast_input, forecast_plan, run_plan, run_plan_with, ComposeConfig, ForecastConfig, ParMode,
+};
 use parallel_archetypes::core::ExecutionMode;
 use parallel_archetypes::dc::skeleton::{run_shared, run_spmd as dc_spmd};
 use parallel_archetypes::dc::{
@@ -348,4 +351,72 @@ fn virtual_time_is_machine_dependent_but_results_are_not() {
         fast.elapsed_virtual < slow.elapsed_virtual,
         "the T3D model must be faster than Ethernet workstations"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Composed plans: the same determinism contract as the atom archetypes.
+// ---------------------------------------------------------------------------
+
+fn forecast_mini() -> ForecastConfig {
+    ForecastConfig {
+        sweep_points: 32,
+        mesh_n: 14,
+        mesh_iters: 60,
+    }
+}
+
+#[test]
+fn composed_plan_runs_are_bit_identical() {
+    for p in [1usize, 4, 6] {
+        assert_bit_identical_runs(&format!("forecast composite p={p}"), || {
+            run_spmd(p, MachineModel::ibm_sp(), |ctx| {
+                let (value, stats) =
+                    run_plan(ctx, &forecast_plan(forecast_mini()), forecast_input());
+                (value, stats, ctx.now().to_bits())
+            })
+        });
+    }
+}
+
+#[test]
+fn composed_plan_results_and_stats_are_machine_model_invariant() {
+    let run_on = |model: MachineModel| {
+        run_spmd(6, model, |ctx| {
+            run_plan(ctx, &forecast_plan(forecast_mini()), forecast_input())
+        })
+    };
+    let sp = run_on(MachineModel::ibm_sp());
+    let t3d = run_on(MachineModel::cray_t3d());
+    let delta = run_on(MachineModel::intel_delta());
+    assert_eq!(sp.results, t3d.results, "ibm_sp vs cray_t3d");
+    assert_eq!(sp.results, delta.results, "ibm_sp vs intel_delta");
+    assert!(
+        sp.elapsed_virtual != t3d.elapsed_virtual,
+        "clocks may (and do) differ across machine models"
+    );
+}
+
+#[test]
+fn composed_plan_results_and_stats_are_process_count_and_schedule_invariant() {
+    let reference = run_spmd(1, MachineModel::ibm_sp(), |ctx| {
+        run_plan(ctx, &forecast_plan(forecast_mini()), forecast_input())
+    })
+    .results[0]
+        .clone();
+    for p in [2usize, 3, 5, 7, 8] {
+        for mode in [ParMode::Allocate, ParMode::Serialize] {
+            let out = run_spmd(p, MachineModel::cray_t3d(), move |ctx| {
+                run_plan_with(
+                    ctx,
+                    &forecast_plan(forecast_mini()),
+                    forecast_input(),
+                    ComposeConfig { par: mode },
+                    None,
+                )
+            });
+            for (r, got) in out.results.iter().enumerate() {
+                assert_eq!(got, &reference, "p={p} mode={mode:?} rank={r}");
+            }
+        }
+    }
 }

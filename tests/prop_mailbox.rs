@@ -17,6 +17,7 @@ use parallel_archetypes::mp::packet::{Packet, PacketBody};
 fn pkt(from: usize, tag: u64, value: u64) -> Packet {
     Packet {
         from,
+        scope: 0,
         tag,
         bytes: 8,
         arrival_time: 0.0,
@@ -59,7 +60,7 @@ proptest! {
             let choice = drain_order[pick % drain_order.len()] as usize % remaining.len();
             pick += 1;
             let t = remaining[choice];
-            let got = value(mb[0].recv_matching(1, t));
+            let got = value(mb[0].recv_matching(1, 0, t));
             let expected = per_tag.get_mut(&t).unwrap().pop_front().unwrap();
             prop_assert_eq!(
                 got, expected,
@@ -107,7 +108,7 @@ proptest! {
                     .iter()
                     .find(|&&t| t >= tag)
                     .unwrap_or(&keys[0]);
-                let got = value(mb[0].recv_matching(1, t));
+                let got = value(mb[0].recv_matching(1, 0, t));
                 let expected = outstanding.get_mut(&t).unwrap().pop_front().unwrap();
                 prop_assert_eq!(got, expected);
             }
@@ -117,7 +118,7 @@ proptest! {
         keys.sort_unstable();
         for t in keys {
             while let Some(expected) = outstanding.get_mut(&t).unwrap().pop_front() {
-                prop_assert_eq!(value(mb[0].recv_matching(1, t)), expected);
+                prop_assert_eq!(value(mb[0].recv_matching(1, 0, t)), expected);
             }
         }
         prop_assert_eq!(mb[0].unconsumed(), 0, "no leaks after quiescence");
@@ -152,7 +153,7 @@ proptest! {
         b_keys.reverse(); // drain highest tag first: maximal buffering
         for t in b_keys {
             while let Some(e) = expect_b.get_mut(&t).unwrap().pop_front() {
-                prop_assert_eq!(value(mb[2].recv_matching(1, t)), e);
+                prop_assert_eq!(value(mb[2].recv_matching(1, 0, t)), e);
             }
         }
         let mut expect_a: std::collections::HashMap<u64, std::collections::VecDeque<u64>> =
@@ -164,7 +165,7 @@ proptest! {
         a_keys.sort_unstable();
         for t in a_keys {
             while let Some(e) = expect_a.get_mut(&t).unwrap().pop_front() {
-                prop_assert_eq!(value(mb[2].recv_matching(0, t)), e);
+                prop_assert_eq!(value(mb[2].recv_matching(0, 0, t)), e);
             }
         }
         prop_assert_eq!(mb[2].unconsumed(), 0);

@@ -242,6 +242,63 @@ proptest! {
     }
 
     #[test]
+    fn group_reduce_equals_ascending_fold(
+        values in vec(-1000i64..1000, 1..10),
+        root_pick in 0usize..10,
+        extra in 0usize..3,
+    ) {
+        // A group over a subset of the world: reduce must return the
+        // ascending-group-order fold (order-sensitive op) on the root and
+        // None elsewhere, for any root and any world padding.
+        let n = values.len();
+        let root = root_pick % n;
+        let world = n + extra;
+        let out = run_spmd(world, MachineModel::ibm_sp(), |ctx| {
+            let colors: Vec<usize> = (0..ctx.nprocs()).map(|r| usize::from(r >= n)).collect();
+            let mut g = Group::split(ctx, &colors);
+            if ctx.rank() >= n {
+                return None;
+            }
+            // Order-sensitive op: digits concatenated by position.
+            g.reduce(ctx, root, vec![values[ctx.rank()]], |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+        });
+        for (r, got) in out.results.iter().enumerate() {
+            if r == root {
+                prop_assert_eq!(got.as_ref(), Some(&values));
+            } else {
+                prop_assert!(got.is_none(), "rank {} must not hold the fold", r);
+            }
+        }
+    }
+
+    #[test]
+    fn group_reduce_agrees_with_gather_fold_and_all_reduce(
+        values in vec(0u64..1_000_000, 1..10),
+    ) {
+        let n = values.len();
+        let out = run_spmd(n, MachineModel::cray_t3d(), |ctx| {
+            let mut g = Group::world(ctx);
+            let red = g.reduce(ctx, 0, values[ctx.rank()], u64::wrapping_add);
+            let all = g.all_reduce(ctx, values[ctx.rank()], u64::wrapping_add);
+            let gathered = g.gather(ctx, 0, values[ctx.rank()]);
+            (red, all, gathered)
+        });
+        let expected: u64 = values.iter().sum();
+        for (r, (red, all, gathered)) in out.results.iter().enumerate() {
+            prop_assert_eq!(*all, expected);
+            if r == 0 {
+                prop_assert_eq!(red.unwrap(), expected);
+                prop_assert_eq!(gathered.as_ref().unwrap().iter().sum::<u64>(), expected);
+            } else {
+                prop_assert!(red.is_none());
+            }
+        }
+    }
+
+    #[test]
     fn block_range_and_owner_are_inverse(n in 1usize..200, parts in 1usize..17) {
         let mut covered = 0usize;
         for idx in 0..parts {
