@@ -6,7 +6,9 @@
 //!   (persistent worker pool + recycled network vs thread-per-rank and a
 //!   fresh n² channel mesh per call, the seed behaviour).
 //! * `ping_pong_*` — point-to-point round-trip latency at small and
-//!   medium payload sizes.
+//!   medium payload sizes; the `_ft_idle` variant runs the same loop
+//!   under `run_spmd_ft` with an inert fault plan, pricing the
+//!   per-operation fault hooks when no faults are scheduled.
 //! * `broadcast_1mb_16` — a 1 MB buffer fanned out to 16 ranks; with
 //!   shared payloads every forwarding hop moves a refcount, not a copy.
 //!
@@ -15,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use archetype_mp::{run_spmd, run_spmd_unpooled, MachineModel};
+use archetype_mp::{run_spmd, run_spmd_ft, run_spmd_unpooled, FaultPlan, MachineModel};
 
 fn bench_executor(c: &mut Criterion) {
     let mut g = c.benchmark_group("executor");
@@ -52,6 +54,22 @@ fn bench_latency(c: &mut Criterion) {
             })
         });
     }
+    g.bench_function("ping_pong_8b_ft_idle_x100", |b| {
+        b.iter(|| {
+            run_spmd_ft(2, model, FaultPlan::new(0), |ctx| {
+                let partner = 1 - ctx.rank();
+                for round in 0..100u64 {
+                    if ctx.rank() == 0 {
+                        ctx.send(partner, round, vec![0u8; 8]);
+                        let _: Vec<u8> = ctx.recv(partner, round);
+                    } else {
+                        let v: Vec<u8> = ctx.recv(partner, round);
+                        ctx.send(partner, round, v);
+                    }
+                }
+            })
+        })
+    });
     g.finish();
 }
 

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use archetype_mp::{run_spmd, run_spmd_unpooled, MachineModel};
+use archetype_mp::{run_spmd, run_spmd_ft, run_spmd_unpooled, FaultPlan, MachineModel};
 
 /// Median-of-`reps` wall time of one `f()` call, in microseconds.
 fn time_us<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -66,6 +66,26 @@ fn main() {
     let pp8 = ping_pong_us(8);
     let pp4k = ping_pong_us(4096);
 
+    // The same 8-byte ping-pong with an inert fault plan installed: the
+    // per-operation fault hooks (op counters, crash-site check, delay
+    // early-out) on a plan that schedules nothing. This is the price
+    // every fault-aware run pays even when chaos is disabled.
+    let pp8_ft = time_us(9, || {
+        run_spmd_ft(2, model, FaultPlan::new(0), |ctx| {
+            let partner = 1 - ctx.rank();
+            for round in 0..100u64 {
+                if ctx.rank() == 0 {
+                    ctx.send(partner, round, vec![0u8; 8]);
+                    let _: Vec<u8> = ctx.recv(partner, round);
+                } else {
+                    let v: Vec<u8> = ctx.recv(partner, round);
+                    ctx.send(partner, round, v);
+                }
+            }
+        });
+    }) / 100.0;
+    let ft_overhead_pct = (pp8_ft / pp8 - 1.0) * 100.0;
+
     // Fan-out: 1 MB broadcast across 16 ranks (shared payload path).
     let bcast_us = time_us(9, || {
         run_spmd(NPROCS, model, |ctx| {
@@ -91,7 +111,9 @@ fn main() {
   }},
   "latency": {{
     "ping_pong_8b_us_per_roundtrip": {pp8:.3},
-    "ping_pong_4kb_us_per_roundtrip": {pp4k:.3}
+    "ping_pong_4kb_us_per_roundtrip": {pp4k:.3},
+    "ping_pong_8b_fault_hooks_idle_us_per_roundtrip": {pp8_ft:.3},
+    "fault_hooks_idle_overhead_pct": {ft_overhead_pct:.1}
   }},
   "fanout": {{
     "broadcast_1mb_16_us_per_call": {bcast_us:.1},
@@ -116,6 +138,14 @@ fn main() {
         let msg = format!(
             "pooled executor should be >= 3x faster than spawn-per-call \
              on repeated 16-rank invocations (got {executor_speedup:.2}x)"
+        );
+        assert!(!strict, "{msg}");
+        eprintln!("WARNING: {msg}");
+    }
+    if ft_overhead_pct >= 2.0 {
+        let msg = format!(
+            "idle fault hooks should cost < 2% on the 8-byte ping-pong \
+             (got {ft_overhead_pct:.1}%)"
         );
         assert!(!strict, "{msg}");
         eprintln!("WARNING: {msg}");

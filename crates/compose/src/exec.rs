@@ -33,9 +33,11 @@
 //! of results and virtual clocks across repeated runs follows from the
 //! substrate's.
 
+use std::fmt;
+
 use archetype_core::{Phase, PhaseKind, PhaseTrace};
 use archetype_mp::tags::{compose_tag, ComposeTag};
-use archetype_mp::{impl_fixed_size, Ctx, Payload};
+use archetype_mp::{impl_fixed_size, Ctx, FaultPlan, Payload};
 
 use crate::alloc::allocate;
 use crate::plan::{Plan, PlanNode};
@@ -55,11 +57,74 @@ pub enum ParMode {
     Serialize,
 }
 
+/// Bounded replay of atoms whose attempts a
+/// [`FaultPlan`] fails (see [`FaultPlan::atom_failures`] /
+/// [`FaultPlan::fail_atom`]). A failed attempt runs the atom to
+/// completion, loses its result, charges an exponential virtual-time
+/// backoff, and replays from the edge-value checkpoint the executor's
+/// root retains; a schedule that outlasts the budget surfaces as
+/// [`PlanError::AtomExhausted`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Replays allowed per atom beyond its first attempt.
+    pub max_retries: u32,
+    /// Virtual seconds charged after the first lost attempt; doubles per
+    /// subsequent loss (bounded by `max_retries`).
+    pub backoff_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_secs: 1e-3,
+        }
+    }
+}
+
+/// Typed failure of a plan run under fault injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// An atom's failure schedule outlasts its retry budget. Because the
+    /// schedule is a pure function of the [`FaultPlan`], every rank
+    /// derives the identical error before any plan traffic is exchanged.
+    AtomExhausted {
+        /// Plan-preorder id of the doomed atom node.
+        node: u64,
+        /// The atom job's name.
+        atom: String,
+        /// Attempts the schedule would consume (`max_retries + 1` at the
+        /// point the budget is exceeded).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::AtomExhausted {
+                node,
+                atom,
+                attempts,
+            } => write!(
+                f,
+                "atom {atom} (plan node {node}) lost {attempts} attempt(s), \
+                 exhausting its retry budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Tuning knobs for [`run_plan_with`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ComposeConfig {
     /// Branch scheduling policy.
     pub par: ParMode,
+    /// Atom replay budget under fault injection (inert without a
+    /// [`FaultPlan`] in the context).
+    pub retry: RetryPolicy,
 }
 
 /// Deterministic, structural statistics of a plan run — identical on
@@ -88,6 +153,9 @@ pub struct ComposeStats {
     pub plan_nodes: u64,
     /// Deepest nesting level reached.
     pub max_depth: u64,
+    /// Atom attempts whose results were lost to fault injection and
+    /// replayed from their input checkpoints (0 without a fault plan).
+    pub retries: u64,
 }
 
 impl_fixed_size!(ComposeStats);
@@ -104,6 +172,7 @@ impl ComposeStats {
             handoff_bytes: a.handoff_bytes + b.handoff_bytes,
             plan_nodes: a.plan_nodes + b.plan_nodes,
             max_depth: a.max_depth.max(b.max_depth),
+            retries: a.retries + b.retries,
         }
     }
 }
@@ -181,28 +250,86 @@ impl Walker {
         }
         match &plan.node {
             PlanNode::Atom(job) => {
+                // How many leading attempts the fault plan loses is a
+                // pure function of (plan seed, node id), so every rank of
+                // the group derives the identical retry schedule without
+                // exchanging a verdict. Exhausted schedules were rejected
+                // by the collective pre-scan in `try_run_plan_with`.
+                let failed = ctx.fault_plan().map_or(0u32, |fp| {
+                    let mut a = 0;
+                    while fp.atom_fails(node_id, a) {
+                        a += 1;
+                    }
+                    a
+                });
+                debug_assert!(
+                    failed <= self.config.retry.max_retries,
+                    "doomed atoms must be rejected before execution"
+                );
                 let members: Vec<usize> = (0..ctx.nprocs()).collect();
-                let stats = &mut self.stats;
-                ctx.scoped(&members, mix(salt, node_id), |ctx| {
-                    let root = ctx.rank() == 0;
-                    let mut phases = Vec::new();
-                    if root && ctx.nprocs() > 1 {
+                let mut input = input;
+                let mut phases = Vec::new();
+                for attempt in 0..=failed {
+                    let last = attempt == failed;
+                    // The edge value is the checkpoint: the root re-feeds
+                    // a clone into every replay and surrenders the
+                    // original only to the final attempt.
+                    let checkpoint = if last { input.take() } else { input.clone() };
+                    // Attempt 0 keeps the historical scope salt so
+                    // fault-free runs stay bit-identical; replays re-salt
+                    // to isolate their traffic from the lost attempt's.
+                    let scope_salt = if attempt == 0 {
+                        mix(salt, node_id)
+                    } else {
+                        mix(mix(salt, node_id), u64::from(attempt))
+                    };
+                    let stats = &mut self.stats;
+                    let (out, ph) = ctx.scoped(&members, scope_salt, |ctx| {
+                        let root = ctx.rank() == 0;
+                        let mut phases = Vec::new();
+                        if root && ctx.nprocs() > 1 {
+                            phases.push(Phase::new(
+                                PhaseKind::Communication,
+                                format!("replicate input of {}", job.name()),
+                            ));
+                        }
+                        let v = ctx.broadcast(0, checkpoint);
+                        let local = if root { Some(PhaseTrace::new()) } else { None };
+                        let out = job.run(ctx, v, local.as_ref());
+                        if root {
+                            if last {
+                                stats.atoms += 1;
+                            }
+                            phases.extend(local.expect("root trace").phases());
+                            (Some(out), phases)
+                        } else {
+                            (None, Vec::new())
+                        }
+                    });
+                    if last {
+                        phases.extend(ph);
+                        return (out, phases);
+                    }
+                    // The attempt ran to completion but its result is
+                    // lost (and its trace with it): charge the bounded
+                    // exponential backoff and replay from the checkpoint.
+                    drop(out);
+                    ctx.charge_seconds(
+                        self.config.retry.backoff_secs * f64::from(1u32 << attempt.min(20)),
+                    );
+                    if ctx.rank() == 0 {
+                        self.stats.retries += 1;
                         phases.push(Phase::new(
-                            PhaseKind::Communication,
-                            format!("replicate input of {}", job.name()),
+                            PhaseKind::Detect,
+                            format!("atom {} lost attempt {attempt}", job.name()),
+                        ));
+                        phases.push(Phase::new(
+                            PhaseKind::Recover,
+                            format!("replaying {} from its input checkpoint", job.name()),
                         ));
                     }
-                    let v = ctx.broadcast(0, input);
-                    let local = if root { Some(PhaseTrace::new()) } else { None };
-                    let out = job.run(ctx, v, local.as_ref());
-                    if root {
-                        stats.atoms += 1;
-                        phases.extend(local.expect("root trace").phases());
-                        (Some(out), phases)
-                    } else {
-                        (None, Vec::new())
-                    }
-                })
+                }
+                unreachable!("the final attempt returns from the loop")
             }
             PlanNode::Seq(stages) => {
                 if root {
@@ -389,6 +516,41 @@ impl Walker {
     }
 }
 
+/// Find the first atom (in plan preorder, the executor's node-id order)
+/// whose leading-failure schedule outlasts the retry budget. Pure in the
+/// fault plan, so every rank of every group agrees on the verdict.
+fn doomed_atom(plan: &Plan, fp: &FaultPlan, retry: RetryPolicy, node_id: u64) -> Option<PlanError> {
+    match &plan.node {
+        PlanNode::Atom(job) => {
+            let mut a = 0u32;
+            while fp.atom_fails(node_id, a) {
+                a += 1;
+                if a > retry.max_retries {
+                    return Some(PlanError::AtomExhausted {
+                        node: node_id,
+                        atom: job.name().to_string(),
+                        attempts: a,
+                    });
+                }
+            }
+            None
+        }
+        PlanNode::Seq(xs) | PlanNode::Par(xs) => {
+            let mut child = node_id + 1;
+            for x in xs {
+                if let Some(e) = doomed_atom(x, fp, retry, child) {
+                    return Some(e);
+                }
+                child += x.nodes();
+            }
+            None
+        }
+        // Replicate copies share their body's node ids (and thus a
+        // failure schedule), so one scan covers every copy.
+        PlanNode::Replicate(_, inner) => doomed_atom(inner, fp, retry, node_id + 1),
+    }
+}
+
 /// Execute `plan` collectively on the current group: `input` feeds the
 /// first stage (only rank 0's copy is used), and every rank returns the
 /// identical final output and [`ComposeStats`].
@@ -398,6 +560,53 @@ impl Walker {
 /// inside a larger scoped computation.
 pub fn run_plan(ctx: &mut Ctx, plan: &Plan, input: Value) -> (Value, ComposeStats) {
     run_plan_with(ctx, plan, input, ComposeConfig::default(), None)
+}
+
+/// [`run_plan`] that surfaces retry exhaustion as a typed
+/// [`PlanError`] instead of panicking. Without a fault plan in the
+/// context it cannot fail.
+pub fn try_run_plan(ctx: &mut Ctx, plan: &Plan, input: Value) -> PlanResult {
+    try_run_plan_with(ctx, plan, input, ComposeConfig::default(), None)
+}
+
+/// What a fallible plan run returns on every rank.
+pub type PlanResult = Result<(Value, ComposeStats), PlanError>;
+
+/// [`run_plan_with`], fallible. The doom verdict is a pure function of
+/// the plan structure and the group's [`FaultPlan`], so it is computed
+/// *before* any plan traffic: either every rank returns the identical
+/// `Err` immediately (nothing sent, nothing leaked), or the plan runs —
+/// replaying lost atom attempts within [`RetryPolicy`]'s budget — and
+/// every rank returns the identical `Ok`.
+pub fn try_run_plan_with(
+    ctx: &mut Ctx,
+    plan: &Plan,
+    input: Value,
+    config: ComposeConfig,
+    trace: Option<&PhaseTrace>,
+) -> PlanResult {
+    if let Some(err) = ctx
+        .fault_plan()
+        .and_then(|fp| doomed_atom(plan, fp, config.retry, 0))
+    {
+        return Err(err);
+    }
+    let root = ctx.rank() == 0;
+    let mut walker = Walker {
+        config,
+        stats: ComposeStats::default(),
+    };
+    let (out, phases) = walker.node(ctx, plan, root.then_some(input), 0, 0, 0);
+    let out = ctx.broadcast(0, out);
+    let stats = ctx.all_reduce(walker.stats, ComposeStats::combine);
+    if root {
+        if let Some(t) = trace {
+            for ph in phases {
+                t.record(ph.kind, ph.label);
+            }
+        }
+    }
+    Ok((out, stats))
 }
 
 /// [`run_plan`] with phase tracing: rank 0 records the canonical
@@ -415,6 +624,11 @@ pub fn run_plan_traced(
 }
 
 /// [`run_plan_traced`] with explicit scheduling configuration.
+///
+/// # Panics
+/// Panics (identically on every rank, before any communication) if the
+/// group's fault plan dooms an atom beyond the retry budget; use
+/// [`try_run_plan_with`] to get the typed [`PlanError`] instead.
 pub fn run_plan_with(
     ctx: &mut Ctx,
     plan: &Plan,
@@ -422,20 +636,198 @@ pub fn run_plan_with(
     config: ComposeConfig,
     trace: Option<&PhaseTrace>,
 ) -> (Value, ComposeStats) {
-    let root = ctx.rank() == 0;
-    let mut walker = Walker {
-        config,
-        stats: ComposeStats::default(),
-    };
-    let (out, phases) = walker.node(ctx, plan, root.then_some(input), 0, 0, 0);
-    let out = ctx.broadcast(0, out);
-    let stats = ctx.all_reduce(walker.stats, ComposeStats::combine);
-    if root {
-        if let Some(t) = trace {
-            for ph in phases {
-                t.record(ph.kind, ph.label);
+    match try_run_plan_with(ctx, plan, input, config, trace) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use archetype_core::{ArchetypeInfo, PhaseKind, PhaseTrace};
+    use archetype_mp::{run_spmd, run_spmd_ft, Ctx, FaultPlan, MachineModel};
+
+    use super::*;
+    use crate::job::ArchetypeJob;
+    use crate::plan::Plan;
+    use crate::value::Value;
+
+    /// A deterministic atom that counts its executions — so tests can see
+    /// replays — and emits a trace its declared grammar accepts.
+    struct Scale {
+        factor: f64,
+        runs: Arc<AtomicU64>,
+    }
+
+    impl ArchetypeJob for Scale {
+        type In = Value;
+        type Out = Value;
+
+        fn name(&self) -> &'static str {
+            "scale"
+        }
+
+        fn info(&self) -> &'static ArchetypeInfo {
+            &archetype_core::archetype::ONE_DEEP_DC
+        }
+
+        fn estimate_flops(&self, _input: &Value) -> f64 {
+            1.0
+        }
+
+        fn run(&self, ctx: &mut Ctx, input: Value, trace: Option<&PhaseTrace>) -> Value {
+            if ctx.rank() == 0 {
+                self.runs.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(t) = trace {
+                t.record(PhaseKind::Split, "scale split");
+                t.record(PhaseKind::Solve, "scale solve");
+                t.record(PhaseKind::Merge, "scale merge");
+            }
+            match input {
+                Value::F64(x) => Value::F64(x * self.factor + 1.0),
+                other => panic!("scale expects F64, got {}", other.shape()),
             }
         }
     }
-    (out, stats)
+
+    fn two_stage(runs: &Arc<AtomicU64>) -> Plan {
+        Plan::seq(vec![
+            Plan::atom(Scale {
+                factor: 3.0,
+                runs: runs.clone(),
+            }),
+            Plan::atom(Scale {
+                factor: 5.0,
+                runs: runs.clone(),
+            }),
+        ])
+    }
+
+    #[test]
+    fn lost_attempts_replay_from_the_checkpoint() {
+        let clean_runs = Arc::new(AtomicU64::new(0));
+        let clean = run_spmd(3, MachineModel::ibm_sp(), {
+            let runs = clean_runs.clone();
+            move |ctx| run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        let runs = Arc::new(AtomicU64::new(0));
+        // Node ids: 0 = the Seq, 1 and 2 = the atoms. Lose the first
+        // atom's first two attempts.
+        let plan = FaultPlan::new(9).fail_atom(1, 2);
+        let faulty = run_spmd_ft(3, MachineModel::ibm_sp(), plan, {
+            let runs = runs.clone();
+            move |ctx| run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        let (clean_value, clean_stats) = &clean.results[0];
+        for r in &faulty.results {
+            let (value, stats) = r.as_ref().expect("retries recover");
+            assert_eq!(value, clean_value);
+            assert_eq!(stats.retries, 2);
+            assert_eq!(stats.atoms, clean_stats.atoms);
+        }
+        assert_eq!(faulty.leaked_messages, 0);
+        // The lost attempts really executed: 2 replays + 2 final runs.
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+        assert_eq!(clean_runs.load(Ordering::Relaxed), 2);
+        assert!(
+            faulty.elapsed_virtual > clean.elapsed_virtual,
+            "replays and backoff must cost virtual time"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_collective_error() {
+        let runs = Arc::new(AtomicU64::new(0));
+        // Default budget is 3 retries; 5 scheduled losses doom node 2.
+        let plan = FaultPlan::new(9).fail_atom(2, 5);
+        let out = run_spmd_ft(3, MachineModel::ibm_sp(), plan, {
+            let runs = runs.clone();
+            move |ctx| try_run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        for r in &out.results {
+            let err = r
+                .as_ref()
+                .expect("no rank panics")
+                .as_ref()
+                .expect_err("doomed plan");
+            assert_eq!(
+                *err,
+                PlanError::AtomExhausted {
+                    node: 2,
+                    atom: "scale".into(),
+                    attempts: 4,
+                }
+            );
+        }
+        assert_eq!(out.leaked_messages, 0);
+        // The doom verdict is pre-communication: nothing ran at all.
+        assert_eq!(runs.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn run_plan_panics_on_exhaustion_with_the_typed_message() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let plan = FaultPlan::new(9).fail_atom(1, 9);
+        let out = run_spmd_ft(2, MachineModel::ibm_sp(), plan, {
+            let runs = runs.clone();
+            move |ctx| run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        for r in &out.results {
+            let failure = r.as_ref().expect_err("run_plan panics when doomed");
+            assert!(failure.message.contains("exhausting its retry budget"));
+        }
+    }
+
+    #[test]
+    fn retried_traces_conform_to_the_derived_grammar() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let plan = FaultPlan::new(9).fail_atom(1, 1).fail_atom(2, 3);
+        let trace = PhaseTrace::new();
+        let shape = two_stage(&runs);
+        let grammar = shape.grammar();
+        run_spmd_ft(3, MachineModel::ibm_sp(), plan, move |ctx| {
+            let t = (ctx.rank() == 0).then_some(&trace);
+            let (_, stats) = run_plan_traced(ctx, &shape, Value::F64(2.0), t);
+            if let Some(t) = t {
+                let kinds = t.kinds();
+                assert!(
+                    kinds.contains(&PhaseKind::Detect) && kinds.contains(&PhaseKind::Recover),
+                    "retries must surface in the trace: {kinds:?}"
+                );
+                assert!(
+                    grammar.matches(&kinds),
+                    "{kinds:?} rejected by the derived grammar"
+                );
+            }
+            stats.retries
+        });
+    }
+
+    #[test]
+    fn an_inert_fault_plan_is_bit_identical_to_no_fault_plan() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let clean = run_spmd(3, MachineModel::ibm_sp(), {
+            let runs = runs.clone();
+            move |ctx| run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        let inert = run_spmd_ft(3, MachineModel::ibm_sp(), FaultPlan::new(9), {
+            let runs = runs.clone();
+            move |ctx| run_plan(ctx, &two_stage(&runs), Value::F64(2.0))
+        });
+        let (clean_value, clean_stats) = &clean.results[0];
+        for r in &inert.results {
+            let (value, stats) = r.as_ref().expect("inert plan");
+            assert_eq!(value, clean_value);
+            assert_eq!(stats, clean_stats);
+        }
+        assert_eq!(
+            inert.elapsed_virtual.to_bits(),
+            clean.elapsed_virtual.to_bits(),
+            "idle fault hooks must not perturb the virtual clock"
+        );
+    }
 }

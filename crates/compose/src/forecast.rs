@@ -325,7 +325,10 @@ mod tests {
                     ctx,
                     &forecast_plan(mini()),
                     forecast_input(),
-                    ComposeConfig { par: mode },
+                    ComposeConfig {
+                        par: mode,
+                        ..ComposeConfig::default()
+                    },
                     None,
                 )
             })

@@ -168,7 +168,9 @@ impl Plan {
     /// are flattened in branch order between optional
     /// [`PhaseKind::Communication`] brackets (the cost broadcast /
     /// fan-out and the output gather), and every atom's grammar is
-    /// preceded by an optional `Communication` (its input replication).
+    /// preceded by any number of `Detect`/`Recover` retry pairs (lost
+    /// attempts under fault injection) and an optional `Communication`
+    /// (its input replication).
     pub fn grammar(&self) -> PatternExpr {
         self.grammar_with(PatternExpr::seq)
     }
@@ -185,9 +187,17 @@ impl Plan {
     fn grammar_with(&self, par_compose: fn(Vec<PatternExpr>) -> PatternExpr) -> PatternExpr {
         let comm = || PatternExpr::opt(PatternExpr::Kind(PhaseKind::Communication));
         match &self.node {
-            PlanNode::Atom(job) => {
-                PatternExpr::seq(vec![comm(), PatternExpr::from_static(&job.info().grammar)])
-            }
+            // A lost attempt leaves one Detect/Recover pair in the trace
+            // (its own phases are lost with its result), so an atom's
+            // element admits any number of retry pairs up front.
+            PlanNode::Atom(job) => PatternExpr::seq(vec![
+                PatternExpr::Star(Box::new(PatternExpr::seq(vec![
+                    PatternExpr::Kind(PhaseKind::Detect),
+                    PatternExpr::Kind(PhaseKind::Recover),
+                ]))),
+                comm(),
+                PatternExpr::from_static(&job.info().grammar),
+            ]),
             PlanNode::Seq(xs) => {
                 PatternExpr::seq(xs.iter().map(|s| s.grammar_with(par_compose)).collect())
             }

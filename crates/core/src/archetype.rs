@@ -55,6 +55,14 @@ pub enum PhaseKind {
     Drain,
     /// Pipeline: the in-order fold of final items into the output.
     Emit,
+    /// Fault tolerance: a rank failure is observed (channel disconnection
+    /// or virtual-time heartbeat timeout) and charged its deterministic
+    /// detection cost.
+    Detect,
+    /// Fault tolerance: the failed rank's outstanding work is re-executed
+    /// or re-routed (farm batch reassignment, pipeline replica failover,
+    /// composition atom replay).
+    Recover,
 }
 
 impl std::fmt::Display for PhaseKind {
@@ -78,6 +86,8 @@ impl std::fmt::Display for PhaseKind {
             PhaseKind::Transform => "transform",
             PhaseKind::Drain => "drain",
             PhaseKind::Emit => "emit",
+            PhaseKind::Detect => "detect",
+            PhaseKind::Recover => "recover",
         };
         f.write_str(s)
     }
@@ -700,6 +710,8 @@ pub const TASK_FARM: ArchetypeInfo = ArchetypeInfo {
         PhaseKind::Seed,
         PhaseKind::Work,
         PhaseKind::Steal,
+        PhaseKind::Detect,
+        PhaseKind::Recover,
         PhaseKind::Terminate,
     ],
     communication: &[
@@ -707,15 +719,22 @@ pub const TASK_FARM: ArchetypeInfo = ArchetypeInfo {
         "steering-hint ring wave (incumbent sharing)",
         "termination-detection wave (global quiescence proof)",
         "final reduction of per-worker partial results",
+        "work-order / batch-result exchange with heartbeat timeout (FT farm)",
     ],
     // Seed, then one Work (optionally followed by a steal exchange — the
-    // hypercube partner may be out of range on non-power-of-two runs) per
-    // round, then the termination wave's verdict.
+    // hypercube partner may be out of range on non-power-of-two runs,
+    // and optionally followed by detect/recover pairs when the
+    // fault-tolerant farm observes dead workers and reassigns their
+    // batches) per round, then the termination wave's verdict.
     grammar: PhasePattern::Seq(&[
         PhasePattern::Kind(PhaseKind::Seed),
         PhasePattern::Plus(&PhasePattern::Seq(&[
             PhasePattern::Kind(PhaseKind::Work),
             PhasePattern::Opt(&PhasePattern::Kind(PhaseKind::Steal)),
+            PhasePattern::Star(&PhasePattern::Seq(&[
+                PhasePattern::Kind(PhaseKind::Detect),
+                PhasePattern::Kind(PhaseKind::Recover),
+            ])),
         ])),
         PhasePattern::Kind(PhaseKind::Terminate),
     ]),
@@ -733,6 +752,8 @@ pub const PIPELINE: ArchetypeInfo = ArchetypeInfo {
     phases: &[
         PhaseKind::Ingest,
         PhaseKind::Transform,
+        PhaseKind::Detect,
+        PhaseKind::Recover,
         PhaseKind::Drain,
         PhaseKind::Emit,
     ],
@@ -741,10 +762,18 @@ pub const PIPELINE: ArchetypeInfo = ArchetypeInfo {
         "credit-return messages bounding in-flight items to O(depth x window)",
         "end-of-stream markers flushing every stage (drain)",
         "broadcast of the folded output and reduction of statistics",
+        "re-routing of a dead replica's share to its successor (replica failover)",
     ],
+    // Between ingest and drain: transforms, interspersed with
+    // detect/recover records when a dead replica's share of the stream is
+    // failed over to a surviving one.
     grammar: PhasePattern::Seq(&[
         PhasePattern::Kind(PhaseKind::Ingest),
-        PhasePattern::Star(&PhasePattern::Kind(PhaseKind::Transform)),
+        PhasePattern::Star(&PhasePattern::AnyOf(&[
+            PhaseKind::Transform,
+            PhaseKind::Detect,
+            PhaseKind::Recover,
+        ])),
         PhasePattern::Kind(PhaseKind::Drain),
         PhasePattern::Kind(PhaseKind::Emit),
     ]),
@@ -845,6 +874,20 @@ mod tests {
     }
 
     #[test]
+    fn farm_grammar_accepts_detect_recover_rounds() {
+        use PhaseKind::{Detect, Recover, Seed, Terminate, Work};
+        let g = &TASK_FARM.grammar;
+        // A worker death observed after a round: detect, reassign, rework.
+        assert!(g.matches(&[Seed, Work, Detect, Recover, Work, Terminate]));
+        // Two deaths in one round.
+        assert!(g.matches(&[Seed, Work, Detect, Recover, Detect, Recover, Terminate]));
+        // Recovery without detection (or the reverse) is rejected.
+        assert!(!g.matches(&[Seed, Work, Recover, Terminate]));
+        assert!(!g.matches(&[Seed, Work, Detect, Terminate]));
+        assert!(!g.matches(&[Seed, Detect, Recover, Terminate]));
+    }
+
+    #[test]
     fn mesh_grammar_brackets_op_rounds_with_io() {
         use PhaseKind::{ColOp, Communication, GridOp, Io, Reduction, RowOp};
         let g = &MESH_SPECTRAL.grammar;
@@ -864,6 +907,18 @@ mod tests {
         assert!(!g.matches(&[Ingest, Transform, Emit]));
         assert!(!g.matches(&[Transform, Drain, Emit]));
         assert!(!g.matches(&[Ingest, Drain, Emit, Emit]));
+    }
+
+    #[test]
+    fn pipeline_grammar_accepts_failover_records() {
+        use PhaseKind::{Detect, Drain, Emit, Ingest, Recover, Transform};
+        let g = &PIPELINE.grammar;
+        // A replica death mid-stream: its items re-route to a survivor.
+        assert!(g.matches(&[Ingest, Transform, Detect, Recover, Transform, Drain, Emit]));
+        assert!(g.matches(&[Ingest, Detect, Recover, Drain, Emit]));
+        // Failover records cannot replace the drain/emit finale.
+        assert!(!g.matches(&[Ingest, Transform, Detect, Recover]));
+        assert!(!g.matches(&[Detect, Recover, Drain, Emit]));
     }
 
     #[test]

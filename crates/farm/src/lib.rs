@@ -69,6 +69,8 @@
 #![deny(missing_docs)]
 
 pub mod apps;
+pub mod ft;
 pub mod skeleton;
 
+pub use ft::{run_farm_ft, run_farm_ft_traced, FtFarmConfig, FtFarmStats};
 pub use skeleton::{run_farm, run_farm_traced, Batching, Farm, FarmConfig, FarmStats, WorkScope};

@@ -34,7 +34,7 @@ pub const DEFAULT_TASK_FLOPS: f64 = 100.0;
 
 /// Modeled flop-equivalents charged per seed task for generating and
 /// dealing the initial pool.
-const SEED_FLOPS_PER_TASK: f64 = 20.0;
+pub(crate) const SEED_FLOPS_PER_TASK: f64 = 20.0;
 
 /// A task-farm computation: an irregular pool of tasks drained by
 /// workers, combined by an associative **and commutative** reduction.
@@ -125,6 +125,31 @@ pub struct WorkScope<'a, F: Farm + ?Sized> {
     acc: &'a mut Option<F::Out>,
     spawned: &'a mut Vec<F::Task>,
     extra_flops: f64,
+}
+
+impl<'a, F: Farm + ?Sized> WorkScope<'a, F> {
+    /// Internal constructor shared with the fault-tolerant driver
+    /// (`ft` module), which executes tasks outside the lockstep loop.
+    pub(crate) fn new(
+        farm: &'a F,
+        hint: &'a F::Hint,
+        acc: &'a mut Option<F::Out>,
+        spawned: &'a mut Vec<F::Task>,
+    ) -> Self {
+        WorkScope {
+            farm,
+            hint,
+            acc,
+            spawned,
+            extra_flops: 0.0,
+        }
+    }
+
+    /// Flop-equivalents charged through [`WorkScope::charge_flops`] so
+    /// far — read back by the drivers to price the task.
+    pub(crate) fn extra_flops(&self) -> f64 {
+        self.extra_flops
+    }
 }
 
 impl<F: Farm + ?Sized> WorkScope<'_, F> {

@@ -2,7 +2,9 @@
 //! receive, and charge compute time against the virtual clock.
 
 use crossbeam::channel::Sender;
+use std::sync::Arc;
 
+use crate::fault::{CrashSite, FaultPlan, InjectedCrash, RankDead};
 use crate::mailbox::Mailbox;
 use crate::model::MachineModel;
 use crate::packet::{Packet, PacketBody};
@@ -45,6 +47,16 @@ pub struct Ctx {
     /// so scoped receives translate through this table. Identity at the
     /// world.
     peers: Vec<usize>,
+    /// Shared fault schedule installed by [`crate::run_spmd_ft`]; `None`
+    /// (the default) keeps every injection hook to a single branch.
+    fault: Option<Arc<FaultPlan>>,
+    /// Operation counters keying the crash schedule: world-rank-local
+    /// indices of sends, receives, and [`Ctx::fault_point`] calls. They
+    /// deliberately survive [`Ctx::scoped`] sections — a crash site
+    /// addresses the rank's k-th operation of the whole run.
+    send_ops: u64,
+    recv_ops: u64,
+    phase_ops: u64,
 }
 
 impl Ctx {
@@ -67,7 +79,26 @@ impl Ctx {
             working_set_bytes: 0.0,
             scope: 0,
             peers: (0..nprocs).collect(),
+            fault: None,
+            send_ops: 0,
+            recv_ops: 0,
+            phase_ops: 0,
         }
+    }
+
+    /// Install the shared fault schedule (called by [`crate::run_spmd_ft`]
+    /// before the body runs).
+    pub(crate) fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
+    }
+
+    /// The active fault schedule, if this run is executing under
+    /// [`crate::run_spmd_ft`]. Recovery choreography (the pipeline's
+    /// replica failover, the farm's re-execution protocol) consults the
+    /// shared plan so that every rank derives the same failure schedule
+    /// without extra communication.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
     }
 
     /// This process's rank in `0..nprocs()` — within the current scope
@@ -148,12 +179,29 @@ impl Ctx {
 
     /// Charge send-side costs and put a packet on the wire to `to`.
     fn send_packet(&mut self, to: usize, tag: Tag, bytes: usize, body: PacketBody) {
+        self.try_send_packet(to, tag, bytes, body)
+            .expect("receiving rank's mailbox closed (rank panicked?)");
+    }
+
+    /// Like [`Ctx::send_packet`], but reports a dead destination instead
+    /// of panicking (the fault-tolerant protocols' send primitive).
+    fn try_send_packet(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        bytes: usize,
+        body: PacketBody,
+    ) -> Result<(), RankDead> {
         assert!(to < self.nprocs, "send to rank {to} out of range");
-        let arrival_time = self.clock + self.model.wire_time(bytes);
+        let mut arrival_time = self.clock + self.model.wire_time(bytes);
+        if self.fault.is_some() {
+            arrival_time += self.fault_send_hook(to, tag);
+        }
         self.clock += self.model.send_overhead;
         self.stats.comm_time += self.model.send_overhead;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        let dest = self.peers[to];
         self.senders[to]
             .send(Packet {
                 from: self.rank,
@@ -163,22 +211,125 @@ impl Ctx {
                 arrival_time,
                 body,
             })
-            .expect("receiving rank's mailbox closed (rank panicked?)");
+            .map_err(|_| RankDead { rank: dest })
+    }
+
+    /// Fault hooks on the send path: count the operation, fire a
+    /// scheduled crash, and return the injected extra latency (0.0 for
+    /// most messages). Only called when a plan is installed.
+    fn fault_send_hook(&mut self, to: usize, tag: Tag) -> f64 {
+        let op = self.send_ops;
+        self.send_ops += 1;
+        let me = self.peers[self.rank];
+        let delay = {
+            let plan = self.fault.as_ref().expect("fault plan installed");
+            let site = CrashSite::Send(op);
+            if plan.crash_hits(me, site) {
+                std::panic::panic_any(InjectedCrash {
+                    rank: me,
+                    clock: self.clock,
+                    stats: self.stats,
+                    site,
+                });
+            }
+            plan.delay_of(me, self.peers[to], tag, op)
+        };
+        if delay > 0.0 {
+            self.stats.fault_events += 1;
+        }
+        delay
+    }
+
+    /// Fault hooks on the receive path: count the operation and fire a
+    /// scheduled crash. Only called when a plan is installed.
+    fn fault_recv_hook(&mut self) {
+        let op = self.recv_ops;
+        self.recv_ops += 1;
+        let me = self.peers[self.rank];
+        let site = CrashSite::Recv(op);
+        if self
+            .fault
+            .as_ref()
+            .expect("fault plan installed")
+            .crash_hits(me, site)
+        {
+            std::panic::panic_any(InjectedCrash {
+                rank: me,
+                clock: self.clock,
+                stats: self.stats,
+                site,
+            });
+        }
+    }
+
+    /// Declare a protocol phase boundary — the crash sites recovery
+    /// choreography can reason about. Archetype skeletons call this once
+    /// per unit of protocol progress (a farm batch, a pipeline item); a
+    /// [`FaultPlan`] with a matching [`CrashSite::Phase`] entry kills the
+    /// rank here with a real panic. A no-op without an installed plan.
+    pub fn fault_point(&mut self) {
+        if self.fault.is_none() {
+            return;
+        }
+        let op = self.phase_ops;
+        self.phase_ops += 1;
+        let me = self.peers[self.rank];
+        let site = CrashSite::Phase(op);
+        if self
+            .fault
+            .as_ref()
+            .expect("fault plan installed")
+            .crash_hits(me, site)
+        {
+            std::panic::panic_any(InjectedCrash {
+                rank: me,
+                clock: self.clock,
+                stats: self.stats,
+                site,
+            });
+        }
+    }
+
+    /// Advance the clock past a received packet's arrival and charge
+    /// receive-side overhead.
+    fn settle_recv(&mut self, arrival_time: f64) {
+        if arrival_time > self.clock {
+            self.stats.comm_time += arrival_time - self.clock;
+            self.clock = arrival_time;
+        }
+        self.clock += self.model.recv_overhead;
+        self.stats.comm_time += self.model.recv_overhead;
     }
 
     /// Block for the next matching packet and charge receive-side costs.
     fn recv_packet(&mut self, from: usize, tag: Tag) -> Packet {
         assert!(from < self.nprocs, "recv from rank {from} out of range");
+        if self.fault.is_some() {
+            self.fault_recv_hook();
+        }
         let pkt = self
             .mailbox
             .recv_matching(self.peers[from], self.scope, tag);
-        if pkt.arrival_time > self.clock {
-            self.stats.comm_time += pkt.arrival_time - self.clock;
-            self.clock = pkt.arrival_time;
-        }
-        self.clock += self.model.recv_overhead;
-        self.stats.comm_time += self.model.recv_overhead;
+        self.settle_recv(pkt.arrival_time);
         pkt
+    }
+
+    /// Like [`Ctx::recv_packet`], but returns `Err` when `from`'s rank has
+    /// died with no matching message in flight. No receive-side time is
+    /// charged on the error path — the caller models its own detection
+    /// timeout, keeping clocks deterministic.
+    fn try_recv_packet(&mut self, from: usize, tag: Tag) -> Result<Packet, RankDead> {
+        assert!(from < self.nprocs, "recv from rank {from} out of range");
+        if self.fault.is_some() {
+            self.fault_recv_hook();
+        }
+        let sender = self.peers[from];
+        let pkt = self
+            .mailbox
+            .try_recv_matching(sender, self.scope, tag)
+            .map_err(|_| RankDead { rank: sender })?;
+        self.settle_recv(pkt.arrival_time);
+        Ok(pkt)
     }
 
     #[cold]
@@ -262,6 +413,97 @@ impl Ctx {
                 Ok(v) => Shared::new(*v),
                 Err(_) => self.type_mismatch::<T>(from, tag),
             },
+        }
+    }
+
+    /// Fault-aware send: like [`Ctx::send`], but (a) a dead destination is
+    /// reported as `Err(RankDead)` instead of a panic, and (b) an active
+    /// [`FaultPlan`] may drop or duplicate the message on this channel.
+    ///
+    /// Drops are modeled as virtual retransmissions: each dropped attempt
+    /// charges the plan's retransmit timeout to this rank's clock, and
+    /// only the surviving copy is put on the wire (capped at
+    /// [`crate::fault::MAX_SEND_ATTEMPTS`] attempts, so sends always
+    /// terminate). Duplicates really transmit two copies; the matching
+    /// [`Ctx::recv_ft`] evaluates the same pure decision function and
+    /// discards the extra copy. Both endpoints therefore agree on the
+    /// number of copies in flight without any extra communication — the
+    /// property that keeps fault schedules deterministic. Because the
+    /// drop/duplicate decision is keyed by `(sender, receiver, tag)`,
+    /// callers must use per-message-unique tags (the FT protocols embed a
+    /// sequence number — see [`crate::tags::ft_tag`]).
+    pub fn send_ft<T: Payload + Clone>(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), RankDead> {
+        let (drops, dup) = match &self.fault {
+            Some(plan) if plan.message_faults_enabled() => {
+                let me = self.peers[self.rank];
+                let peer = self.peers[to];
+                let mut attempt = 0u64;
+                while plan.drop_at(me, peer, tag, attempt) {
+                    attempt += 1;
+                }
+                (attempt, plan.dup_of(me, peer, tag))
+            }
+            _ => (0, false),
+        };
+        if drops > 0 {
+            let timeout = self
+                .fault
+                .as_ref()
+                .expect("drops imply an installed plan")
+                .retransmit_timeout();
+            let penalty = drops as f64 * timeout;
+            self.clock += penalty;
+            self.stats.comm_time += penalty;
+            self.stats.fault_events += drops;
+        }
+        let bytes = value.size_bytes();
+        // Both copies are always attempted (and charged) even if the first
+        // fails: whether the receiver's mailbox has closed yet is a
+        // real-time race, and an early return here would let that race
+        // leak into the sender's clock and operation counters.
+        let first = if dup {
+            self.stats.fault_events += 1;
+            self.try_send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value.clone())))
+        } else {
+            Ok(())
+        };
+        let second = self.try_send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value)));
+        first.and(second)
+    }
+
+    /// Fault-aware receive matching [`Ctx::send_ft`]: returns
+    /// `Err(RankDead)` when `from`'s rank has terminated with no matching
+    /// message in flight, and silently discards the second copy of a
+    /// message the active [`FaultPlan`] duplicated. No receive-side time
+    /// is charged on the error path — recovery protocols charge their own
+    /// deterministic detection timeout instead.
+    pub fn recv_ft<T: Payload>(&mut self, from: usize, tag: Tag) -> Result<T, RankDead> {
+        let dup = match &self.fault {
+            Some(plan) if plan.message_faults_enabled() => {
+                plan.dup_of(self.peers[from], self.peers[self.rank], tag)
+            }
+            _ => false,
+        };
+        let pkt = self.try_recv_packet(from, tag)?;
+        if dup {
+            // The sender transmitted two copies; drain and drop the second.
+            self.try_recv_packet(from, tag)?;
+        }
+        match pkt.body {
+            PacketBody::Owned(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(_) => self.type_mismatch::<T>(from, tag),
+            },
+            PacketBody::Shared(_) => panic!(
+                "rank {}: message (from={from}, tag={tag}) was sent with send_shared; \
+                 receive it with recv_shared",
+                self.rank
+            ),
         }
     }
 

@@ -57,6 +57,7 @@
 pub mod collectives;
 pub mod costmeter;
 pub mod ctx;
+pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod model;
@@ -70,10 +71,14 @@ pub mod topology;
 
 pub use costmeter::CostMeter;
 pub use ctx::{Ctx, Tag};
+pub use fault::{CrashSite, CrashSpec, FaultPlan, InjectedCrash, RankDead};
 pub use group::Group;
 pub use model::{MachineModel, MemoryModel};
 pub use payload::{FixedSize, Payload, Shared};
-pub use runner::{run_spmd, run_spmd_quiet, run_spmd_unpooled, SpmdResult};
+pub use runner::{
+    run_spmd, run_spmd_ft, run_spmd_quiet, run_spmd_unpooled, try_run_spmd, FtSpmdResult,
+    RankFailure, SpmdError, SpmdResult,
+};
 pub use stats::{RankStats, RunStats};
-pub use tags::{compose_tag, farm_tag, pipe_tag, ComposeTag, FarmTag, PipeTag};
+pub use tags::{compose_tag, farm_tag, ft_tag, pipe_tag, ComposeTag, FarmTag, FtTag, PipeTag};
 pub use topology::{ProcessGrid2, ProcessGrid3};

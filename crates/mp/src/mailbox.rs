@@ -17,6 +17,11 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::packet::Packet;
 
+/// Error returned by [`Mailbox::try_recv_matching`] when the sending
+/// rank has terminated (channel empty and disconnected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SenderDisconnected;
+
 /// The receive side owned by one rank: `from[s]` is the channel carrying
 /// messages sent by rank `s`, and `pending[s]` holds messages from `s`
 /// already pulled off the channel but not yet matched, bucketed by
@@ -40,23 +45,39 @@ impl Mailbox {
     /// Panics if the sending rank has terminated without ever sending a
     /// matching message (which in a correct SPMD program is a deadlock bug).
     pub fn recv_matching(&mut self, sender: usize, scope: u64, tag: u64) -> Packet {
+        self.try_recv_matching(sender, scope, tag)
+            .unwrap_or_else(|SenderDisconnected| {
+                panic!(
+                    "rank terminated while a receive (from={sender}, scope={scope}, tag={tag}) \
+                     was pending"
+                )
+            })
+    }
+
+    /// Like [`Mailbox::recv_matching`], but returns `Err` instead of
+    /// panicking when `sender`'s rank has terminated (its channel endpoint
+    /// dropped) without a matching message in flight. Messages the sender
+    /// put on the wire *before* dying are still delivered normally — the
+    /// error surfaces only once the channel is both empty and
+    /// disconnected, which is the fault-tolerant protocols' death signal.
+    pub fn try_recv_matching(
+        &mut self,
+        sender: usize,
+        scope: u64,
+        tag: u64,
+    ) -> Result<Packet, SenderDisconnected> {
         if let Some(q) = self.pending[sender].get_mut(&(scope, tag)) {
             if let Some(pkt) = q.pop_front() {
                 if q.is_empty() {
                     self.pending[sender].remove(&(scope, tag));
                 }
-                return pkt;
+                return Ok(pkt);
             }
         }
         loop {
-            let pkt = self.from[sender].recv().unwrap_or_else(|_| {
-                panic!(
-                    "rank terminated while a receive (from={sender}, scope={scope}, tag={tag}) \
-                     was pending"
-                )
-            });
+            let pkt = self.from[sender].recv().map_err(|_| SenderDisconnected)?;
             if pkt.scope == scope && pkt.tag == tag {
-                return pkt;
+                return Ok(pkt);
             }
             self.pending[sender]
                 .entry((pkt.scope, pkt.tag))
@@ -213,6 +234,17 @@ mod tests {
         assert_eq!(val(mb[0].recv_matching(1, 0, 3)), 222);
         assert_eq!(val(mb[0].recv_matching(1, 7, 3)), 111);
         assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    #[test]
+    fn try_recv_surfaces_disconnection_only_after_draining() {
+        let (tx, mut mb) = build_network(2);
+        tx[0][1].send(pkt(1, 4, 5)).unwrap();
+        drop(tx); // the sending rank dies with one message in flight
+        let delivered = mb[0].try_recv_matching(1, 0, 4).unwrap();
+        assert_eq!(val(delivered), 5);
+        let err = mb[0].try_recv_matching(1, 0, 4).unwrap_err();
+        assert_eq!(err, SenderDisconnected);
     }
 
     #[test]

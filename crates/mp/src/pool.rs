@@ -28,9 +28,17 @@
 //! even if dispatch itself unwinds mid-batch.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
 
 use crossbeam::channel::{unbounded, Sender};
+
+/// Lock a mutex, tolerating poison. The pool's shared state (idle list,
+/// completion counts) stays consistent across a panic — every critical
+/// section is a push/pop or a counter bump — so a panicked rank must not
+/// wedge or abort every later dispatch in the process.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A lifetime-erased unit of work.
 struct Job(Box<dyn FnOnce() + Send + 'static>);
@@ -59,43 +67,66 @@ fn idle() -> &'static Mutex<Vec<Worker>> {
     IDLE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Completion bookkeeping shared between the dispatcher and its jobs.
+#[derive(Default)]
+struct LatchState {
+    /// Jobs that have finished, by any route.
+    completed: usize,
+    /// Of those, jobs that finished by *unwinding* — the failure marker.
+    /// The dispatcher's wait returns this count, so a panicked job is a
+    /// reported outcome, never a missing completion.
+    panicked: usize,
+}
+
 /// Count-up latch: completions are signalled as they happen and the
-/// dispatcher waits for however many jobs it actually sent.
+/// dispatcher waits for however many jobs it actually sent. All locking
+/// is poison-tolerant — the latch must stay operational while the very
+/// panic it exists to report is unwinding through it.
 struct Latch {
-    completed: Mutex<usize>,
+    state: Mutex<LatchState>,
     done: Condvar,
 }
 
 impl Latch {
     fn new() -> Latch {
         Latch {
-            completed: Mutex::new(0),
+            state: Mutex::new(LatchState::default()),
             done: Condvar::new(),
         }
     }
 
-    fn signal(&self) {
-        let mut done = self.completed.lock().unwrap();
-        *done += 1;
+    fn signal(&self, panicked: bool) {
+        let mut state = lock_unpoisoned(&self.state);
+        state.completed += 1;
+        if panicked {
+            state.panicked += 1;
+        }
         self.done.notify_all();
     }
 
-    fn wait_for(&self, count: usize) {
-        let mut done = self.completed.lock().unwrap();
-        while *done < count {
-            done = self.done.wait(done).unwrap();
+    /// Block until `count` jobs have signalled; returns how many of them
+    /// signalled from a panic.
+    fn wait_for(&self, count: usize) -> usize {
+        let mut state = lock_unpoisoned(&self.state);
+        while state.completed < count {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+        state.panicked
     }
 }
 
 /// Signals the latch when dropped: on normal job completion, when a job
-/// unwinds, and even when an undelivered job is dropped by a failed send
-/// — every dispatched job signals exactly once, no matter what.
+/// unwinds (marked as a failure), and even when an undelivered job is
+/// dropped by a failed send — every dispatched job signals exactly once,
+/// no matter what, so the dispatcher can never wait forever.
 struct SignalOnDrop<'a>(&'a Latch);
 
 impl Drop for SignalOnDrop<'_> {
     fn drop(&mut self) {
-        self.0.signal();
+        self.0.signal(std::thread::panicking());
     }
 }
 
@@ -122,11 +153,14 @@ fn spawn_worker() -> Worker {
             while let Ok(Msg::Run(Job(f))) = rx.recv() {
                 // Jobs built by `run_scoped` never unwind (they wrap the
                 // body in catch_unwind); this outer catch only keeps the
-                // worker alive if that invariant is ever broken.
+                // worker alive if that invariant is ever broken. The job's
+                // completion latch was already notified — with the failure
+                // marker set — by its drop guard during the unwind, so the
+                // dispatcher observes the failed job rather than hanging.
                 if catch_unwind(AssertUnwindSafe(f)).is_err() {
                     eprintln!("spmd-worker: job escaped its panic guard");
                 }
-                idle().lock().unwrap().push(Worker { tx: own_tx.clone() });
+                lock_unpoisoned(idle()).push(Worker { tx: own_tx.clone() });
             }
         })
         .expect("spawn spmd worker thread");
@@ -135,7 +169,7 @@ fn spawn_worker() -> Worker {
 
 /// Number of worker threads currently idle (diagnostics / tests).
 pub fn idle_workers() -> usize {
-    idle().lock().unwrap().len()
+    lock_unpoisoned(idle()).len()
 }
 
 /// Tell idle workers beyond [`MAX_IDLE_WORKERS`] to exit. Opportunistic:
@@ -143,7 +177,7 @@ pub fn idle_workers() -> usize {
 fn trim_idle() {
     let mut excess = Vec::new();
     {
-        let mut pool = idle().lock().unwrap();
+        let mut pool = lock_unpoisoned(idle());
         while pool.len() > MAX_IDLE_WORKERS {
             excess.extend(pool.pop());
         }
@@ -156,13 +190,15 @@ fn trim_idle() {
 
 /// Run `jobs` concurrently — one dedicated worker per job — and return
 /// once all of them have finished. Jobs may borrow from the caller's
-/// stack; panics inside a job must be contained by the job itself (the
-/// runner wraps every rank in `catch_unwind` and propagates the payload
-/// after the batch completes).
-pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+/// stack; panics inside a job should be contained by the job itself (the
+/// runner wraps every rank in `catch_unwind` and reports the failure
+/// after the batch completes). A job that unwinds anyway still signals
+/// completion — with a failure marker — so the batch can never deadlock;
+/// the returned count says how many jobs escaped that way (0 normally).
+pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) -> usize {
     let n = jobs.len();
     if n == 0 {
-        return;
+        return 0;
     }
     let latch = Latch::new();
     // Dropped at the end of this function — or during unwinding if
@@ -178,7 +214,7 @@ pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
     // block on each other, so partial dispatch onto too few threads
     // would deadlock.
     let mut workers = {
-        let mut pool = idle().lock().unwrap();
+        let mut pool = lock_unpoisoned(idle());
         let keep = pool.len() - n.min(pool.len());
         pool.split_off(keep)
     };
@@ -206,7 +242,10 @@ pub(crate) fn run_scoped(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
             .expect("worker thread alive");
     }
     drop(scope); // wait for all dispatched jobs
+                 // All `n` completions are in; a second wait just reads the marker.
+    let escaped = latch.wait_for(n);
     trim_idle();
+    escaped
 }
 
 #[cfg(test)]
@@ -265,7 +304,30 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        run_scoped(Vec::new());
+        assert_eq!(run_scoped(Vec::new()), 0);
+    }
+
+    #[test]
+    fn panicking_job_signals_failure_instead_of_deadlocking() {
+        // A raw panicking job escapes the worker's guard; the batch must
+        // still complete (no deadlock) and report the escape.
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>,
+            Box::new(|| panic!("job exploded")) as Box<dyn FnOnce() + Send + '_>,
+            Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>,
+        ];
+        assert_eq!(run_scoped(jobs), 1);
+        // The pool remains fully usable afterwards.
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        assert_eq!(run_scoped(jobs), 0);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -19,16 +19,25 @@
 //! of which threads execute which rank.
 
 use std::collections::HashMap;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::ctx::Ctx;
+use crate::fault::{FaultPlan, InjectedCrash};
 use crate::mailbox::{build_network, Mailbox};
 use crate::model::MachineModel;
 use crate::packet::Packet;
 use crate::pool;
 use crate::stats::{RankStats, RunStats};
 use crossbeam::channel::Sender;
+
+/// Lock a mutex, tolerating poison: a rank that panicked while holding
+/// the runner's bookkeeping locks must not wedge every later `run_spmd`
+/// in the process (the data under these locks stays consistent — each
+/// critical section is a single assignment or cache operation).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Everything a finished SPMD run reports.
 #[derive(Debug)]
@@ -51,6 +60,100 @@ impl<R> SpmdResult<R> {
         } else {
             f64::INFINITY
         }
+    }
+}
+
+/// Why one rank of an SPMD run failed: the structured form of a rank
+/// panic, reported by [`try_run_spmd`] / [`run_spmd_ft`] instead of
+/// resuming the unwind on the caller's thread.
+#[derive(Clone, Debug)]
+pub struct RankFailure {
+    /// World rank that failed.
+    pub rank: usize,
+    /// The rank's panic message (or a description of the injected crash
+    /// site for scheduled faults).
+    pub message: String,
+    /// True when the failure was scheduled by a [`FaultPlan`] crash site;
+    /// false for genuine program panics.
+    pub injected: bool,
+    /// The rank's virtual clock at the moment of an injected crash (0.0
+    /// for genuine panics, whose context is lost to the unwind).
+    pub clock: f64,
+    /// Statistics accumulated up to an injected crash (default for
+    /// genuine panics).
+    pub stats: RankStats,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.injected {
+            "injected crash"
+        } else {
+            "panic"
+        };
+        write!(f, "rank {} failed ({kind}): {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// Error returned by [`try_run_spmd`] when one or more ranks failed.
+/// The channel network of a failed run is always quarantined (dropped),
+/// never recycled: a dead rank may have left messages in flight.
+#[derive(Clone, Debug)]
+pub struct SpmdError {
+    /// The failed ranks, in rank order.
+    pub failures: Vec<RankFailure>,
+}
+
+impl std::fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            write!(f, " [{failure}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Everything a fault-injected SPMD run ([`run_spmd_ft`]) reports. Unlike
+/// [`SpmdResult`], per-rank outcomes are `Result`s: scheduled crashes are
+/// expected events, and surviving ranks' values remain available next to
+/// the structured failures of the ranks that died.
+#[derive(Debug)]
+pub struct FtSpmdResult<R> {
+    /// Per-rank outcomes, indexed by rank.
+    pub results: Vec<Result<R, RankFailure>>,
+    /// Elapsed virtual time: the maximum final clock across ranks
+    /// (crashed ranks contribute their clock at the moment of death).
+    pub elapsed_virtual: f64,
+    /// Final per-rank clocks (clock at death for crashed ranks).
+    pub rank_times: Vec<f64>,
+    /// Communication/computation statistics per rank (up to the moment of
+    /// death for crashed ranks).
+    pub stats: RunStats,
+    /// Messages left unconsumed in the network when the run ended. Always
+    /// 0 for fully successful runs of leak-free programs; a run with dead
+    /// ranks may legitimately strand in-flight messages (the network is
+    /// quarantined, so they can never contaminate a later run).
+    pub leaked_messages: usize,
+}
+
+impl<R> FtSpmdResult<R> {
+    /// True if every rank completed (no scheduled crash fired and nothing
+    /// panicked).
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(Result::is_ok)
+    }
+
+    /// The failures, in rank order (empty when [`FtSpmdResult::all_ok`]).
+    pub fn failures(&self) -> Vec<&RankFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
     }
 }
 
@@ -106,7 +209,7 @@ fn fresh_network(nprocs: usize) -> Vec<RankLinks> {
 
 fn acquire_network(nprocs: usize) -> Vec<RankLinks> {
     {
-        let mut cache = network_cache().lock().unwrap();
+        let mut cache = lock_unpoisoned(network_cache());
         if let Some(links) = cache.by_size.get_mut(&nprocs).and_then(Vec::pop) {
             cache.channels -= nprocs * nprocs;
             return links;
@@ -117,7 +220,7 @@ fn acquire_network(nprocs: usize) -> Vec<RankLinks> {
 
 fn release_network(nprocs: usize, links: Vec<RankLinks>) {
     let channels = nprocs * nprocs;
-    let mut cache = network_cache().lock().unwrap();
+    let mut cache = lock_unpoisoned(network_cache());
     if cache.channels + channels > CACHE_CHANNEL_BUDGET {
         return; // over budget: drop the network instead of retaining it
     }
@@ -131,13 +234,57 @@ fn release_network(nprocs: usize, links: Vec<RankLinks>) {
 type RankOutcome<R> = (R, f64, RankStats, RankLinks);
 type JobResult<R> = Result<RankOutcome<R>, Box<dyn std::any::Any + Send>>;
 
-fn run_inner<F, R>(
+/// A completed rank as seen by the runner frontends: return value, final
+/// clock, statistics (the links were already returned to the network
+/// lifecycle by the core).
+type RankDone<R> = (R, f64, RankStats);
+
+/// Turn a caught panic payload into a structured failure. Injected
+/// crashes carry their context ([`InjectedCrash`]); genuine panics yield
+/// whatever message the payload holds.
+fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFailure {
+    match payload.downcast::<InjectedCrash>() {
+        Ok(crash) => RankFailure {
+            rank: crash.rank,
+            message: format!("injected crash at {}", crash.site),
+            injected: true,
+            clock: crash.clock,
+            stats: crash.stats,
+        },
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            RankFailure {
+                rank,
+                message,
+                injected: false,
+                clock: 0.0,
+                stats: RankStats::default(),
+            }
+        }
+    }
+}
+
+/// The shared execution core: runs one rank per worker, contains every
+/// panic, and returns per-rank structured outcomes plus the leak count.
+///
+/// Network lifecycle: a *fully successful* pooled run with no stranded
+/// messages returns its network to the recycle cache; any run with a
+/// failed rank — or with messages left in flight — quarantines it (the
+/// links are simply dropped), so stale packets and dead channels can
+/// never contaminate a later run.
+fn run_inner_result<F, R>(
     nprocs: usize,
     model: MachineModel,
+    fault: Option<Arc<FaultPlan>>,
     body: F,
-    check_leaks: bool,
     pooled: bool,
-) -> SpmdResult<R>
+) -> (Vec<Result<RankDone<R>, RankFailure>>, usize)
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
@@ -151,9 +298,13 @@ where
 
     let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
     let body = &body;
+    let fault = &fault;
     let run_rank = |rank: usize, links: RankLinks| -> JobResult<R> {
         catch_unwind(AssertUnwindSafe(|| {
             let mut ctx = Ctx::new(rank, nprocs, links.senders, links.mailbox, model);
+            if let Some(plan) = fault {
+                ctx.install_fault_plan(Arc::clone(plan));
+            }
             let r = body(&mut ctx);
             let now = ctx.now();
             let stats = ctx.stats();
@@ -170,7 +321,7 @@ where
             .enumerate()
             .map(|(rank, l)| {
                 Box::new(move || {
-                    *slots_ref[rank].lock().unwrap() = Some(run_rank(rank, l));
+                    *lock_unpoisoned(&slots_ref[rank]) = Some(run_rank(rank, l));
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
@@ -179,50 +330,91 @@ where
         std::thread::scope(|scope| {
             for (rank, l) in links.into_iter().enumerate() {
                 scope.spawn(move || {
-                    *slots_ref[rank].lock().unwrap() = Some(run_rank(rank, l));
+                    *lock_unpoisoned(&slots_ref[rank]) = Some(run_rank(rank, l));
                 });
             }
         });
     }
 
-    // Assemble outcomes; a panic in any rank takes precedence and is
-    // re-raised on the caller thread (matching `std::thread::scope`).
-    let mut results = Vec::with_capacity(nprocs);
-    let mut rank_times = Vec::with_capacity(nprocs);
-    let mut per_rank = Vec::with_capacity(nprocs);
-    let mut links_back = Vec::with_capacity(nprocs);
     let mut outcomes = Vec::with_capacity(nprocs);
-    for slot in &slots {
-        match slot.lock().unwrap().take().expect("all ranks completed") {
-            Ok(out) => outcomes.push(out),
-            Err(panic_payload) => resume_unwind(panic_payload),
+    let mut links_back = Vec::with_capacity(nprocs);
+    let mut any_failed = false;
+    for (rank, slot) in slots.iter().enumerate() {
+        match lock_unpoisoned(slot).take() {
+            Some(Ok((r, now, stats, l))) => {
+                links_back.push(l);
+                outcomes.push(Ok((r, now, stats)));
+            }
+            Some(Err(payload)) => {
+                any_failed = true;
+                outcomes.push(Err(classify_panic(rank, payload)));
+            }
+            // A worker's panic guard was escaped (double panic in the job):
+            // the pool still signals completion, but the slot stays empty.
+            None => {
+                any_failed = true;
+                outcomes.push(Err(RankFailure {
+                    rank,
+                    message: "rank's job vanished (worker panic guard escaped)".to_string(),
+                    injected: false,
+                    clock: 0.0,
+                    stats: RankStats::default(),
+                }));
+            }
         }
     }
-    for (r, now, stats, l) in outcomes {
-        results.push(r);
-        rank_times.push(now);
-        per_rank.push(stats);
-        links_back.push(l);
-    }
-    // The leak check runs here — after every rank has returned — so it
+
+    // The leak count runs here — after every rank has returned — so it
     // sees a quiescent network: no send can still be in flight, making
-    // the count exact rather than racing against slower peers.
-    let mut leaked = false;
-    for (rank, l) in links_back.iter().enumerate() {
-        let unconsumed = l.mailbox.unconsumed();
-        if check_leaks {
-            assert_eq!(
-                unconsumed, 0,
-                "rank {rank} finished with {unconsumed} unreceived message(s): \
-                 mismatched send/recv in the SPMD program"
-            );
-        }
-        leaked |= unconsumed > 0;
-    }
-    if pooled && !leaked {
+    // the count exact rather than racing against slower peers. With dead
+    // ranks the count covers the survivors' mailboxes (the dead ranks'
+    // endpoints went down with their unwinds).
+    let leaked: usize = links_back.iter().map(|l| l.mailbox.unconsumed()).sum();
+    if pooled && !any_failed && leaked == 0 {
         release_network(nprocs, links_back);
     }
 
+    (outcomes, leaked)
+}
+
+/// Shared frontend for the panicking entry points: re-raises the first
+/// rank failure as a panic whose message contains the original panic
+/// text, and applies the leak check to successful runs.
+fn run_checked<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    body: F,
+    check_leaks: bool,
+    pooled: bool,
+) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    let (outcomes, leaked) = run_inner_result(nprocs, model, None, body, pooled);
+    let mut results = Vec::with_capacity(nprocs);
+    let mut rank_times = Vec::with_capacity(nprocs);
+    let mut per_rank = Vec::with_capacity(nprocs);
+    for outcome in outcomes {
+        match outcome {
+            Ok((r, now, stats)) => {
+                results.push(r);
+                rank_times.push(now);
+                per_rank.push(stats);
+            }
+            // A failed rank takes precedence, matching `std::thread::scope`
+            // semantics; the message keeps the original panic text so
+            // callers matching on it still work.
+            Err(failure) => panic!("{}", failure.message),
+        }
+    }
+    if check_leaks {
+        assert_eq!(
+            leaked, 0,
+            "run finished with {leaked} unreceived message(s): \
+             mismatched send/recv in the SPMD program"
+        );
+    }
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
     SpmdResult {
         results,
@@ -260,7 +452,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_inner(nprocs, model, body, true, true)
+    run_checked(nprocs, model, body, true, true)
 }
 
 /// Like [`run_spmd`] but without the message-leak check. Useful in tests
@@ -270,7 +462,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_inner(nprocs, model, body, false, true)
+    run_checked(nprocs, model, body, false, true)
 }
 
 /// [`run_spmd`] on the seed execution path: fresh OS threads and a fresh
@@ -282,7 +474,115 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_inner(nprocs, model, body, true, false)
+    run_checked(nprocs, model, body, true, false)
+}
+
+/// Like [`run_spmd`], but rank panics are contained and reported as a
+/// structured [`SpmdError`] instead of being re-raised: one panicking
+/// rank cannot take the calling thread down, the worker pool stays usable
+/// for the next run, and the dirty channel network is quarantined rather
+/// than recycled.
+///
+/// ```
+/// use archetype_mp::{try_run_spmd, MachineModel};
+///
+/// let err = try_run_spmd(2, MachineModel::zero_comm(), |ctx| {
+///     if ctx.rank() == 1 {
+///         panic!("boom");
+///     }
+///     ctx.rank()
+/// })
+/// .unwrap_err();
+/// assert_eq!(err.failures.len(), 1);
+/// assert_eq!(err.failures[0].rank, 1);
+/// assert!(err.failures[0].message.contains("boom"));
+/// ```
+pub fn try_run_spmd<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    body: F,
+) -> Result<SpmdResult<R>, SpmdError>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    let (outcomes, leaked) = run_inner_result(nprocs, model, None, body, true);
+    let mut results = Vec::with_capacity(nprocs);
+    let mut rank_times = Vec::with_capacity(nprocs);
+    let mut per_rank = Vec::with_capacity(nprocs);
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok((r, now, stats)) => {
+                results.push(r);
+                rank_times.push(now);
+                per_rank.push(stats);
+            }
+            Err(failure) => failures.push(failure),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(SpmdError { failures });
+    }
+    assert_eq!(
+        leaked, 0,
+        "run finished with {leaked} unreceived message(s): \
+         mismatched send/recv in the SPMD program"
+    );
+    let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
+    Ok(SpmdResult {
+        results,
+        elapsed_virtual,
+        rank_times,
+        stats: RunStats { per_rank },
+    })
+}
+
+/// Run `body` under a deterministic fault schedule: `plan` is shared by
+/// every rank (see [`FaultPlan`]), scheduled crashes really panic the
+/// rank and are reported as structured per-rank failures, and the
+/// channel network is quarantined whenever anything failed or leaked.
+///
+/// This is the chaos-testing entry point: with an inert plan
+/// (`FaultPlan::new(seed)`) it behaves exactly like [`run_spmd`] modulo
+/// the `Result`-wrapped outcomes — the configuration whose overhead the
+/// `substrate_overhead` bench pins.
+pub fn run_spmd_ft<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    plan: FaultPlan,
+    body: F,
+) -> FtSpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    let (outcomes, leaked) = run_inner_result(nprocs, model, Some(Arc::new(plan)), body, true);
+    let mut results = Vec::with_capacity(nprocs);
+    let mut rank_times = Vec::with_capacity(nprocs);
+    let mut per_rank = Vec::with_capacity(nprocs);
+    for outcome in outcomes {
+        match outcome {
+            Ok((r, now, stats)) => {
+                results.push(Ok(r));
+                rank_times.push(now);
+                per_rank.push(stats);
+            }
+            Err(failure) => {
+                rank_times.push(failure.clock);
+                per_rank.push(failure.stats);
+                results.push(Err(failure));
+            }
+        }
+    }
+    let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
+    FtSpmdResult {
+        results,
+        elapsed_virtual,
+        rank_times,
+        stats: RunStats { per_rank },
+        leaked_messages: leaked,
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@ pub struct RankStats {
     /// Virtual seconds spent waiting for messages (clock jumps at receives)
     /// plus send/receive CPU overheads.
     pub comm_time: f64,
+    /// Faults injected into this rank's operations by an active
+    /// [`crate::FaultPlan`]: delayed messages, dropped attempts, and
+    /// duplicated copies (0 in fault-free runs and under an inert plan).
+    pub fault_events: u64,
 }
 
 /// Aggregated statistics for a whole run.
@@ -39,6 +43,12 @@ impl RunStats {
             .iter()
             .map(|r| r.compute_time)
             .fold(0.0, f64::max)
+    }
+
+    /// Total injected fault events across all ranks (see
+    /// [`RankStats::fault_events`]).
+    pub fn total_fault_events(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.fault_events).sum()
     }
 
     /// Fraction of the busiest rank's time spent communicating, a rough
@@ -72,18 +82,21 @@ mod tests {
                     bytes_sent: 100,
                     compute_time: 1.0,
                     comm_time: 1.0,
+                    fault_events: 0,
                 },
                 RankStats {
                     msgs_sent: 3,
                     bytes_sent: 50,
                     compute_time: 2.0,
                     comm_time: 0.5,
+                    fault_events: 1,
                 },
             ],
         };
         assert_eq!(stats.total_msgs(), 5);
         assert_eq!(stats.total_bytes(), 150);
         assert_eq!(stats.max_compute_time(), 2.0);
+        assert_eq!(stats.total_fault_events(), 1);
     }
 
     #[test]
@@ -94,6 +107,7 @@ mod tests {
                 bytes_sent: 1,
                 compute_time: 0.0,
                 comm_time: 3.0,
+                fault_events: 0,
             }],
         };
         assert!((stats.comm_fraction() - 1.0).abs() < 1e-12);

@@ -11,13 +11,17 @@
 //! | `1 << 61`       | farm protocol (this module)               |
 //! | `1 << 60` alone | pipeline protocol (this module)           |
 //! | `1 << 59` alone | composition handoff (this module)         |
+//! | `1 << 58` alone | fault-tolerance protocol (this module)    |
 //! | rest            | free for application point-to-point use   |
 //!
 //! (A farm tag may have bits 59–60 set *inside* its kind field, but
 //! always together with bit 61, and a pipeline tag may set bit 59 inside
 //! its kind field but always together with bit 60 — so the pipeline
 //! namespace — bit 60 with bits 61–63 clear — and the composition
-//! namespace — bit 59 with bits 60–63 clear — never collide with either.)
+//! namespace — bit 59 with bits 60–63 clear — never collide with either.
+//! Composition and fault-tolerance tags keep their kind fields below bit
+//! 58, so the FT namespace — bit 58 with bits 59–63 clear — is likewise
+//! disjoint from everything above it.)
 //!
 //! The farm namespace carries the task-farm archetype's message
 //! kinds, each versioned by the farm's round number so that back-to-back
@@ -155,10 +159,87 @@ pub const fn compose_tag(kind: ComposeTag, node: u64) -> Tag {
     COMPOSE_TAG_BASE | (kind.code() << 57) | (node & ((1 << 57) - 1))
 }
 
+/// Base bit of the fault-tolerance protocol's tag namespace.
+pub const FT_TAG_BASE: u64 = 1 << 58;
+
+/// The message kinds of the fault-tolerant archetype protocols (the FT
+/// farm's work orders and replies, and the heartbeat/timeout machinery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FtTag {
+    /// A work order (or shutdown order) from a coordinator to a worker.
+    Order,
+    /// A completed batch of results travelling back to the coordinator.
+    Done,
+    /// A liveness/statistics report; carries a worker's final accounting
+    /// during shutdown and doubles as the virtual-time heartbeat kind.
+    Heartbeat,
+}
+
+impl FtTag {
+    const fn code(self) -> u64 {
+        match self {
+            FtTag::Order => 0,
+            FtTag::Done => 1,
+            FtTag::Heartbeat => 2,
+        }
+    }
+}
+
+/// The tag for fault-tolerance message kind `kind` with sequence number
+/// `seq`. Unlike the lockstep farm's round-versioned tags, FT tags are
+/// versioned per *message*: recovery protocols re-send work after a
+/// failure, and a unique sequence number per transmission both prevents a
+/// reissued order from matching a stale reply and gives the fault layer's
+/// pure drop/duplicate decision function (keyed by `(from, to, tag)`) a
+/// distinct key per message — see [`crate::Ctx::send_ft`].
+///
+/// ```
+/// use archetype_mp::tags::{ft_tag, FtTag, FT_TAG_BASE};
+/// let t = ft_tag(FtTag::Order, 7);
+/// assert_ne!(t, ft_tag(FtTag::Done, 7)); // kinds are disjoint
+/// assert_ne!(t, ft_tag(FtTag::Order, 8)); // sequence numbers are disjoint
+/// assert_eq!(t & FT_TAG_BASE, FT_TAG_BASE); // inside the FT namespace
+/// assert_eq!(t >> 59, 0); // and outside every other namespace
+/// ```
+pub const fn ft_tag(kind: FtTag, seq: u64) -> Tag {
+    FT_TAG_BASE | (kind.code() << 56) | (seq & ((1 << 56) - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::COLLECTIVE_TAG_BASE;
+
+    #[test]
+    fn ft_namespace_is_disjoint_from_all_others() {
+        let t = ft_tag(FtTag::Heartbeat, 11);
+        assert_eq!(t & COLLECTIVE_TAG_BASE, 0, "not a world collective tag");
+        assert_eq!(t & (1 << 62), 0, "not a group collective tag");
+        assert_eq!(t & (1 << 61), 0, "not a farm tag");
+        assert_eq!(t & (1 << 60), 0, "not a pipeline tag");
+        assert_eq!(t & (1 << 59), 0, "not a compose tag");
+        assert_ne!(t & FT_TAG_BASE, 0);
+        // Compose tags keep their kind field at bit 57, below the FT base,
+        // so they can never fall inside the FT namespace — and farm /
+        // pipeline / compose tags always carry their own base bits.
+        assert_eq!(
+            compose_tag(ComposeTag::Output, (1 << 57) - 1) & FT_TAG_BASE,
+            0
+        );
+        assert_ne!(farm_tag(FarmTag::Wave, 3) & (1 << 61), 0);
+        assert_ne!(pipe_tag(PipeTag::Credit, 3) & (1 << 60), 0);
+        assert_ne!(compose_tag(ComposeTag::Input, 3) & (1 << 59), 0);
+    }
+
+    #[test]
+    fn ft_kinds_and_seqs_never_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in [FtTag::Order, FtTag::Done, FtTag::Heartbeat] {
+            for seq in [0u64, 1, 2, 3, 17, 1000, 123_456_789] {
+                assert!(seen.insert(ft_tag(kind, seq)));
+            }
+        }
+    }
 
     #[test]
     fn compose_namespace_is_disjoint_from_all_others() {

@@ -34,6 +34,24 @@
 //! Because the schedule depends only on sequence numbers and the plan
 //! (never on host timing), runs are deterministic: identical results,
 //! identical virtual clocks, identical statistics on every execution.
+//!
+//! ## Replica failover
+//!
+//! When a [`FaultPlan`](archetype_mp::FaultPlan) is installed, every
+//! transform replica declares a protocol phase boundary
+//! ([`Ctx::fault_point`]) before each receive, so a scheduled
+//! `Phase(k)` crash kills the replica after it has processed — and
+//! forwarded, and credited — exactly `k` of its items. Because the
+//! fault schedule is a pure function of the shared plan, *every* rank
+//! computes the same routing table: items a dead replica would have owned
+//! are re-routed to the next live replica of its level (cyclically),
+//! end-of-stream markers carry the stream length so drain-time liveness
+//! is computed identically everywhere, and the finale degrades from
+//! collectives to pairwise exchanges among the survivors. Recovered
+//! runs produce bit-identical output to fault-free runs; the ingest and
+//! emit ranks are not replicated, so their death — like a crash at a
+//! send/receive site mid-protocol — remains unrecoverable and surfaces
+//! as typed per-rank failures.
 
 use archetype_core::{PhaseKind, PhaseTrace};
 use archetype_mp::tags::{pipe_tag, PipeTag};
@@ -169,6 +187,9 @@ pub struct PipelineStats {
     pub replicas: u64,
     /// Ranks left idle by the replication cutoff.
     pub idle_ranks: u64,
+    /// Transform replicas with a scheduled crash whose stream share the
+    /// router re-routes to the next live replica of their level.
+    pub failovers: u64,
 }
 
 impl_fixed_size!(PipelineStats);
@@ -186,6 +207,7 @@ impl PipelineStats {
             segments: a.segments.max(b.segments),
             replicas: a.replicas.max(b.replicas),
             idle_ranks: a.idle_ranks.max(b.idle_ranks),
+            failovers: a.failovers.max(b.failovers),
         }
     }
 }
@@ -195,16 +217,92 @@ enum StreamMsg<T> {
     /// Stream item `seq` (4-byte kind + 8-byte sequence header on the
     /// wire, plus the item itself).
     Item(u64, T),
-    /// End of stream from this producer.
-    Eos,
+    /// End of stream from this producer, carrying the total stream
+    /// length so drain-time liveness is computable on every rank.
+    Eos(u64),
 }
 
 impl<T: Payload> Payload for StreamMsg<T> {
     fn size_bytes(&self) -> usize {
         match self {
             StreamMsg::Item(_, t) => 12 + t.size_bytes(),
-            StreamMsg::Eos => 4,
+            StreamMsg::Eos(_) => 12,
         }
+    }
+}
+
+/// Deterministic item-to-replica routing for one pipeline level, shared
+/// in spirit by every rank: the fault-free assignment is round-robin
+/// (`seq % q`), and a replica scheduled to die after processing `k`
+/// items stops being assigned work from its `k`-th item on — its share
+/// shifts to the next live replica, cyclically. Because the death
+/// schedule is a pure function of the globally shared fault plan, all
+/// ranks' routers agree without communication.
+struct Router {
+    /// Per-replica scheduled death: `Some(k)` means the replica's
+    /// `Phase(k)` crash fires after it has processed exactly `k` items.
+    deaths: Vec<Option<u64>>,
+    /// Items assigned to each replica so far in the simulation.
+    counts: Vec<u64>,
+    /// Owner replica index of each simulated sequence number.
+    owners: Vec<usize>,
+}
+
+impl Router {
+    fn new(deaths: Vec<Option<u64>>) -> Self {
+        let n = deaths.len();
+        assert!(n > 0, "a pipeline level cannot be empty");
+        Router {
+            deaths,
+            counts: vec![0; n],
+            owners: Vec::new(),
+        }
+    }
+
+    fn alive_in_sim(&self, j: usize) -> bool {
+        self.deaths[j].is_none_or(|k| self.counts[j] < k)
+    }
+
+    fn advance_to(&mut self, seq: u64) {
+        while (self.owners.len() as u64) <= seq {
+            let s = self.owners.len();
+            let q = self.deaths.len();
+            let mut j = s % q;
+            let mut probes = 0;
+            while !self.alive_in_sim(j) {
+                j = (j + 1) % q;
+                probes += 1;
+                assert!(
+                    probes < q,
+                    "every replica of a pipeline level is scheduled to die \
+                     before stream item {s}; the pipeline cannot recover"
+                );
+            }
+            self.counts[j] += 1;
+            self.owners.push(j);
+        }
+    }
+
+    /// The replica index that owns stream item `seq`.
+    fn owner(&mut self, seq: u64) -> usize {
+        self.advance_to(seq);
+        self.owners[seq as usize]
+    }
+
+    /// Whether replica `j` is still alive once the stream (of `n` items
+    /// in total) has drained — i.e. whether its scheduled death never
+    /// fires. A replica dies after processing its `k`-th assigned item
+    /// (or, when assigned exactly `k`, at the phase boundary before its
+    /// end-of-stream drain), so it survives iff `k` exceeds its share.
+    fn live_at_drain(&mut self, j: usize, n: u64) -> bool {
+        if n > 0 {
+            self.advance_to(n - 1);
+        }
+        let assigned = self.owners[..n as usize]
+            .iter()
+            .filter(|&&o| o == j)
+            .count() as u64;
+        self.deaths[j].is_none_or(|k| k > assigned)
     }
 }
 
@@ -354,11 +452,13 @@ fn build_plan(
     }
 }
 
-/// The downstream half of one edge, owned by a producer: round-robin
+/// The downstream half of one edge, owned by a producer: router-driven
 /// item sends under credit flow control, then EOS + credit reclaim.
+/// With no fault plan the router degenerates to round-robin.
 struct Outflow<T> {
     edge: u64,
     consumers: Vec<usize>,
+    router: Router,
     credits: Vec<usize>,
     sent: Vec<u64>,
     drawn: Vec<u64>,
@@ -367,12 +467,14 @@ struct Outflow<T> {
 }
 
 impl<T: Payload> Outflow<T> {
-    fn new(edge: u64, consumers: Vec<usize>, window: usize) -> Self {
+    fn new(edge: u64, consumers: Vec<usize>, router: Router, window: usize) -> Self {
         assert!(window >= 1, "flow-control window must be at least 1");
         let n = consumers.len();
+        assert_eq!(n, router.deaths.len(), "router must cover every consumer");
         Outflow {
             edge,
             consumers,
+            router,
             credits: vec![window; n],
             sent: vec![0; n],
             drawn: vec![0; n],
@@ -382,11 +484,10 @@ impl<T: Payload> Outflow<T> {
     }
 
     fn send_item(&mut self, ctx: &mut Ctx, stats: &mut PipelineStats, seq: u64, item: T) {
-        let j = (seq % self.consumers.len() as u64) as usize;
+        let j = self.router.owner(seq);
         if self.credits[j] == 0 {
             stats.stalls += 1;
-            let () = ctx.recv(self.consumers[j], pipe_tag(PipeTag::Credit, self.edge));
-            self.drawn[j] += 1;
+            self.recv_credit(ctx, j);
             self.credits[j] += 1;
         }
         self.credits[j] -= 1;
@@ -399,9 +500,22 @@ impl<T: Payload> Outflow<T> {
         );
     }
 
-    /// Send EOS to every consumer, then reclaim the credits still in
-    /// flight so the network ends quiescent.
-    fn finish(mut self, ctx: &mut Ctx) {
+    /// Credits ride the fault-aware channel (consumers must be able to
+    /// credit a producer that has since died), so they are received with
+    /// its symmetric primitive. A consumer credits every item routed to
+    /// it before its scheduled death, so the credit is always in flight.
+    fn recv_credit(&mut self, ctx: &mut Ctx, j: usize) {
+        let () = ctx
+            .recv_ft(self.consumers[j], pipe_tag(PipeTag::Credit, self.edge))
+            .expect("consumer died with credits outstanding (routing bug)");
+        self.drawn[j] += 1;
+    }
+
+    /// Send EOS (carrying the stream length `n`) to every consumer still
+    /// alive at drain time, then reclaim the credits still in flight so
+    /// the network ends quiescent. Dead consumers credited everything
+    /// they were routed before dying, so reclaim covers them too.
+    fn finish(mut self, ctx: &mut Ctx, n: u64) {
         // Credit conservation: window = live credits + in-flight ones.
         debug_assert!(self
             .credits
@@ -409,86 +523,125 @@ impl<T: Payload> Outflow<T> {
             .zip(&self.drawn)
             .zip(&self.sent)
             .all(|((&c, &d), &s)| c as u64 + (s - d) == self.window as u64));
-        for &c in &self.consumers {
-            ctx.send(c, pipe_tag(PipeTag::Item, self.edge), StreamMsg::<T>::Eos);
+        for j in 0..self.consumers.len() {
+            if self.router.live_at_drain(j, n) {
+                ctx.send(
+                    self.consumers[j],
+                    pipe_tag(PipeTag::Item, self.edge),
+                    StreamMsg::<T>::Eos(n),
+                );
+            }
         }
         for j in 0..self.consumers.len() {
             while self.drawn[j] < self.sent[j] {
-                let () = ctx.recv(self.consumers[j], pipe_tag(PipeTag::Credit, self.edge));
-                self.drawn[j] += 1;
+                self.recv_credit(ctx, j);
             }
         }
     }
 }
 
 /// The upstream half of one edge, owned by a consumer: blocking matched
-/// receives in ascending sequence order, credit returns, EOS drain.
+/// receives of this consumer's routed share in ascending sequence order,
+/// credit returns, EOS drain.
 struct Inflow {
     edge: u64,
     producers: Vec<usize>,
-    done: Vec<bool>,
-    next_seq: u64,
-    step: u64,
+    /// Routing of the *producing* level — which replica forwards item
+    /// `seq` on this edge.
+    upstream: Router,
+    /// Routing of this consumer's own level — which sequence numbers are
+    /// this replica's share.
+    mine: Router,
+    my_index: usize,
+    cursor: u64,
+    /// Total stream length, learned from the first EOS.
+    total: Option<u64>,
     last_from: usize,
 }
 
 impl Inflow {
-    fn new(edge: u64, producers: Vec<usize>, my_index: usize, consumers_total: usize) -> Self {
-        let n = producers.len();
+    fn new(
+        edge: u64,
+        producers: Vec<usize>,
+        upstream: Router,
+        mine: Router,
+        my_index: usize,
+    ) -> Self {
+        assert_eq!(producers.len(), upstream.deaths.len());
         Inflow {
             edge,
             producers,
-            done: vec![false; n],
-            next_seq: my_index as u64,
-            step: consumers_total as u64,
+            upstream,
+            mine,
+            my_index,
+            cursor: 0,
+            total: None,
             last_from: 0,
         }
     }
 
-    /// The next item of this consumer's round-robin share, or `None`
-    /// after draining EOS from every producer.
+    /// The next item of this consumer's routed share, or `None` after
+    /// draining EOS from every surviving producer.
+    ///
+    /// Termination of the share search: if the router ever marks this
+    /// replica dead in simulation, the replica's own `fault_point` fires
+    /// at that very op — so a rank searching here is alive in simulation
+    /// and owns infinitely many simulated sequence numbers.
     fn next<T: Payload>(&mut self, ctx: &mut Ctx) -> Option<(u64, T)> {
-        let q = self.producers.len() as u64;
-        let prod = (self.next_seq % q) as usize;
+        if self.total.is_some() {
+            return None;
+        }
+        let mut s = self.cursor;
+        while self.mine.owner(s) != self.my_index {
+            s += 1;
+        }
+        // The producer routed item `s`; if the stream ends first, that
+        // producer is necessarily alive at drain (it processed fewer
+        // items than the simulation allowed it) and sends EOS instead.
+        let prod = self.upstream.owner(s);
         let msg: StreamMsg<T> = ctx.recv(self.producers[prod], pipe_tag(PipeTag::Item, self.edge));
         match msg {
             StreamMsg::Item(seq, item) => {
-                assert_eq!(
-                    seq, self.next_seq,
-                    "in-order delivery violated on edge {}",
-                    self.edge
-                );
+                assert_eq!(seq, s, "in-order delivery violated on edge {}", self.edge);
                 self.last_from = prod;
-                self.next_seq += self.step;
-                Some((seq, item))
+                self.cursor = s + 1;
+                Some((s, item))
             }
-            StreamMsg::Eos => {
-                // The stream is a prefix 0..n, so the first EOS implies
-                // no later sequence exists; the other producers owe
-                // exactly one EOS each.
-                self.done[prod] = true;
+            StreamMsg::Eos(n) => {
+                // Every producer alive at drain closes the edge with one
+                // EOS per surviving consumer; dead producers send none.
                 for i in 0..self.producers.len() {
-                    if !self.done[i] {
+                    if i != prod && self.upstream.live_at_drain(i, n) {
                         let m: StreamMsg<T> =
                             ctx.recv(self.producers[i], pipe_tag(PipeTag::Item, self.edge));
                         assert!(
-                            matches!(m, StreamMsg::Eos),
-                            "every producer must close edge {} with EOS",
+                            matches!(m, StreamMsg::Eos(_)),
+                            "every surviving producer must close edge {} with EOS",
                             self.edge
                         );
-                        self.done[i] = true;
                     }
                 }
+                self.total = Some(n);
                 None
             }
         }
     }
 
+    /// The stream length learned at drain. Only valid after [`Inflow::next`]
+    /// has returned `None`.
+    fn stream_len(&self) -> u64 {
+        self.total.expect("stream fully drained")
+    }
+
     /// Return one credit for the last received item. Called *after* the
     /// item has been forwarded downstream, so backpressure propagates.
+    /// Sent on the fault-aware channel: the producer may have reached
+    /// its scheduled death right after forwarding its last item, in
+    /// which case the credit lands in a dead mailbox — harmless, and
+    /// charged identically either way.
     fn credit(&self, ctx: &mut Ctx, stats: &mut PipelineStats) {
         stats.credits += 1;
-        ctx.send(
+        let _ = ctx.send_ft(
             self.producers[self.last_from],
             pipe_tag(PipeTag::Credit, self.edge),
             (),
@@ -554,10 +707,33 @@ pub fn run_pipeline_traced<P: Pipeline>(
     let overhead_secs = model.recv_overhead + 2.0 * model.send_overhead;
     let plan = build_plan(p, &stage_secs, overhead_secs, &config);
     ctx.charge_items(s_count + 1, PLAN_FLOPS_PER_STAGE);
+
+    // Scheduled deaths per level, identical on every rank (a pure
+    // function of the shared fault plan). Ingest and emit never declare
+    // fault points, so their levels never fail over.
+    let levels = plan.levels(p);
+    let level_deaths: Vec<Vec<Option<u64>>> = levels
+        .iter()
+        .enumerate()
+        .map(|(l, ranks)| match ctx.fault_plan() {
+            Some(fp) if l > 0 && l < levels.len() - 1 => ranks
+                .iter()
+                .map(|&r| fp.first_phase_crash(ctx.peers()[r]))
+                .collect(),
+            _ => vec![None; ranks.len()],
+        })
+        .collect();
+    let scheduled_deaths: u64 = level_deaths
+        .iter()
+        .flatten()
+        .filter(|d| d.is_some())
+        .count() as u64;
+
     if me == 0 {
         stats.segments = plan.segments.len() as u64;
         stats.replicas = plan.transform_ranks as u64;
         stats.idle_ranks = plan.idle as u64;
+        stats.failovers = scheduled_deaths;
         if let Some(t) = trace {
             t.record(PhaseKind::Ingest, "stream source");
             if plan.fused_on_emit || (p == 1 && s_count > 0) {
@@ -571,6 +747,20 @@ pub fn run_pipeline_traced<P: Pipeline>(
                         seg.stages.0, seg.stages.1, seg.replicas
                     ),
                 );
+            }
+            for (l, deaths) in level_deaths.iter().enumerate() {
+                for (j, d) in deaths.iter().enumerate() {
+                    if let Some(k) = d {
+                        t.record(
+                            PhaseKind::Detect,
+                            format!("rank {} (level {l}) dies after {k} item(s)", levels[l][j]),
+                        );
+                        t.record(
+                            PhaseKind::Recover,
+                            "its share re-routed to the next live replica",
+                        );
+                    }
+                }
             }
             t.record(PhaseKind::Drain, "end-of-stream wave + credit reclaim");
             t.record(PhaseKind::Emit, "in-order fold, output broadcast");
@@ -596,29 +786,40 @@ pub fn run_pipeline_traced<P: Pipeline>(
         return (acc, stats);
     }
 
-    let levels = plan.levels(p);
     let my_level_pos = levels
         .iter()
         .enumerate()
         .skip(1)
         .take(levels.len() - 2)
         .find_map(|(l, ranks)| ranks.iter().position(|&r| r == me).map(|i| (l, i)));
+    let router_for = |l: usize| Router::new(level_deaths[l].clone());
 
     let mut acc: Option<P::Out> = None;
+    // The stream length, learned by every streaming rank at drain time
+    // (the ingest rank generates it; the others read it off the EOS).
+    let mut stream_len: Option<u64> = None;
     if me == 0 {
         // --- Ingest: stream the source through edge 0. --------------------
-        let mut out: Outflow<P::Item> = Outflow::new(0, levels[1].clone(), config.window);
+        let mut out: Outflow<P::Item> =
+            Outflow::new(0, levels[1].clone(), router_for(1), config.window);
         let mut seq = 0u64;
         while let Some(item) = pipe.ingest(seq) {
             ctx.charge_flops(pipe.ingest_flops(&item));
             out.send_item(ctx, &mut stats, seq, item);
             seq += 1;
         }
-        out.finish(ctx);
+        out.finish(ctx, seq);
+        stream_len = Some(seq);
     } else if me == p - 1 {
         // --- Emit: in-order fold of the last edge. ------------------------
         let last = levels.len() - 1;
-        let mut inflow = Inflow::new((last - 1) as u64, levels[last - 1].clone(), 0, 1);
+        let mut inflow = Inflow::new(
+            (last - 1) as u64,
+            levels[last - 1].clone(),
+            router_for(last - 1),
+            router_for(last),
+            0,
+        );
         let mut folded = pipe.out_identity();
         while let Some((seq, mut item)) = inflow.next::<P::Item>(ctx) {
             if plan.fused_on_emit {
@@ -634,6 +835,7 @@ pub fn run_pipeline_traced<P: Pipeline>(
             inflow.credit(ctx, &mut stats);
         }
         acc = Some(folded);
+        stream_len = Some(inflow.stream_len());
     } else if let Some((level, replica)) = my_level_pos {
         // --- Transform: one segment replica. ------------------------------
         let seg = &plan.segments[level - 1];
@@ -641,12 +843,24 @@ pub fn run_pipeline_traced<P: Pipeline>(
         let mut inflow = Inflow::new(
             (level - 1) as u64,
             levels[level - 1].clone(),
+            router_for(level - 1),
+            router_for(level),
             replica,
-            levels[level].len(),
         );
-        let mut out: Outflow<P::Item> =
-            Outflow::new(level as u64, levels[level + 1].clone(), config.window);
-        while let Some((seq, mut item)) = inflow.next::<P::Item>(ctx) {
+        let mut out: Outflow<P::Item> = Outflow::new(
+            level as u64,
+            levels[level + 1].clone(),
+            router_for(level + 1),
+            config.window,
+        );
+        loop {
+            // The protocol's phase boundary: a scheduled Phase(k) crash
+            // fires here, after this replica has processed (forwarded,
+            // credited) exactly k items — the count the routers assume.
+            ctx.fault_point();
+            let Some((seq, mut item)) = inflow.next::<P::Item>(ctx) else {
+                break;
+            };
             for st in my_stages {
                 ctx.charge_flops(st.flops(&item));
                 item = st.transform(seq, item);
@@ -655,14 +869,61 @@ pub fn run_pipeline_traced<P: Pipeline>(
             out.send_item(ctx, &mut stats, seq, item);
             inflow.credit(ctx, &mut stats);
         }
-        out.finish(ctx);
+        out.finish(ctx, inflow.stream_len());
     }
     // Ranks beyond the replication cutoff idle until the finale.
 
-    // --- Finale: share the output, combine the statistics. ----------------
-    let out = ctx.broadcast(p - 1, acc);
-    let stats = ctx.all_reduce(stats, PipelineStats::combine);
-    (out, stats)
+    if scheduled_deaths == 0 {
+        // --- Finale: share the output, combine the statistics. ------------
+        let out = ctx.broadcast(p - 1, acc);
+        let stats = ctx.all_reduce(stats, PipelineStats::combine);
+        return (out, stats);
+    }
+
+    // --- Survivor finale: with ranks scheduled to die, the collective
+    // trees above would route through dead ranks; exchange pairwise with
+    // the emit rank among survivors instead. Every rank computes the
+    // same survivor set from the routers; only the emit rank needs the
+    // stream length for that, and it has it.
+    let fin = pipe_tag(PipeTag::Item, levels.len() as u64);
+    if me == p - 1 {
+        let n = stream_len.expect("emit rank drained the stream");
+        let mut total = stats;
+        let mut routers: Vec<Router> = (0..levels.len()).map(router_for).collect();
+        for r in 0..p - 1 {
+            let doomed = levels.iter().enumerate().any(|(l, ranks)| {
+                ranks
+                    .iter()
+                    .position(|&x| x == r)
+                    .is_some_and(|j| !routers[l].live_at_drain(j, n))
+            });
+            if doomed {
+                continue;
+            }
+            let theirs: PipelineStats = ctx.recv(r, fin);
+            total = PipelineStats::combine(total, theirs);
+        }
+        let folded = acc.expect("emit rank folded the stream");
+        for r in 0..p - 1 {
+            let doomed = levels.iter().enumerate().any(|(l, ranks)| {
+                ranks
+                    .iter()
+                    .position(|&x| x == r)
+                    .is_some_and(|j| !routers[l].live_at_drain(j, n))
+            });
+            if doomed {
+                continue;
+            }
+            ctx.send(r, fin, folded.clone());
+            ctx.send(r, fin, total);
+        }
+        (folded, total)
+    } else {
+        ctx.send(p - 1, fin, stats);
+        let out: P::Out = ctx.recv(p - 1, fin);
+        let stats: PipelineStats = ctx.recv(p - 1, fin);
+        (out, stats)
+    }
 }
 
 /// Host-side sequential oracle: run the whole pipeline in one loop with
@@ -830,6 +1091,53 @@ mod tests {
         }
     }
 
+    /// Heavy *and* order-sensitive: two compute-bound stages (so spare
+    /// ranks replicate both segments — a failover needs a level with at
+    /// least two replicas) feeding the concatenating fold of [`Ordered`].
+    struct HeavyOrdered(u64);
+    struct HeavyScale;
+    impl Stage<u64> for HeavyScale {
+        fn transform(&self, _seq: u64, item: u64) -> u64 {
+            item * 3 + 1
+        }
+        fn flops(&self, _item: &u64) -> f64 {
+            1_000_000.0
+        }
+        fn name(&self) -> &'static str {
+            "heavy-scale"
+        }
+    }
+    struct HeavyXor;
+    impl Stage<u64> for HeavyXor {
+        fn transform(&self, seq: u64, item: u64) -> u64 {
+            item ^ (seq % 8)
+        }
+        fn flops(&self, _item: &u64) -> f64 {
+            1_000_000.0
+        }
+        fn name(&self) -> &'static str {
+            "heavy-xor"
+        }
+    }
+    impl Pipeline for HeavyOrdered {
+        type Item = u64;
+        type Out = String;
+        fn ingest(&self, seq: u64) -> Option<u64> {
+            (seq < self.0).then_some(seq * 7 % 13)
+        }
+        fn stages(&self) -> Vec<&dyn Stage<u64>> {
+            vec![&HeavyScale, &HeavyXor]
+        }
+        fn out_identity(&self) -> String {
+            String::new()
+        }
+        fn emit(&self, mut acc: String, seq: u64, item: u64) -> String {
+            use std::fmt::Write;
+            write!(acc, "{seq}:{item};").unwrap();
+            acc
+        }
+    }
+
     #[test]
     fn heavy_stage_attracts_the_spare_ranks() {
         let out = run_spmd(8, MachineModel::ibm_sp(), |ctx| {
@@ -957,6 +1265,129 @@ mod tests {
             );
             assert!(kinds.iter().all(|k| PIPELINE.phases.contains(k)));
         }
+    }
+
+    #[test]
+    fn router_reroutes_a_dead_replicas_share() {
+        // Three replicas; replica 1 dies after processing 2 items.
+        let mut r = Router::new(vec![None, Some(2), None]);
+        // Fault-free prefix: 0→0, 1→1, 2→2, 3→0, 4→1 (replica 1's 2nd).
+        assert_eq!(
+            (0..5).map(|s| r.owner(s)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1]
+        );
+        // From here replica 1 is dead; its share shifts to replica 2.
+        assert_eq!(r.owner(5), 2);
+        assert_eq!(r.owner(6), 0);
+        assert_eq!(
+            r.owner(7),
+            2,
+            "dead replica's slot goes to the next live one"
+        );
+        assert!(!r.live_at_drain(1, 8));
+        assert!(r.live_at_drain(0, 8) && r.live_at_drain(2, 8));
+        // A death scheduled beyond the stream never fires.
+        let mut late = Router::new(vec![None, Some(100)]);
+        assert!(late.live_at_drain(1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot recover")]
+    fn router_panics_when_a_whole_level_dies() {
+        let mut r = Router::new(vec![Some(1), Some(0)]);
+        for s in 0..4 {
+            r.owner(s);
+        }
+    }
+
+    #[test]
+    fn replica_failover_is_bit_identical_to_the_fault_free_run() {
+        use archetype_mp::{run_spmd_ft, CrashSite, FaultPlan};
+        // p=8 on Lopsided gives the heavy segment several replicas; kill
+        // one of them mid-stream and compare against an inert plan.
+        let clean = run_spmd_ft(8, MachineModel::ibm_sp(), FaultPlan::new(4), |ctx| {
+            run_pipeline(&Lopsided(64), ctx, PipelineConfig::default())
+        });
+        let plan = FaultPlan::new(4).crash(3, CrashSite::Phase(5));
+        let faulty = run_spmd_ft(8, MachineModel::ibm_sp(), plan, |ctx| {
+            run_pipeline(&Lopsided(64), ctx, PipelineConfig::default())
+        });
+        let (clean_out, _) = clean.results[0].as_ref().expect("clean run");
+        let failure = faulty.results[3].as_ref().expect_err("rank 3 crashed");
+        assert!(failure.injected);
+        assert_eq!(faulty.leaked_messages, 0);
+        for rank in [0usize, 1, 2, 4, 5, 6, 7] {
+            let (out, stats) = faulty.results[rank].as_ref().expect("survivor");
+            assert_eq!(out, clean_out, "rank {rank}");
+            assert_eq!(stats.failovers, 1);
+        }
+    }
+
+    #[test]
+    fn order_sensitive_fold_survives_a_replica_death() {
+        use archetype_mp::{run_spmd_ft, CrashSite, FaultPlan};
+        // Both HeavyOrdered segments are replicated from p=6 up (at p=4
+        // every level is a singleton, so a middle-rank death is
+        // unrecoverable — covered by router_panics_when_a_whole_level_dies).
+        let expected = run_sequential(&HeavyOrdered(60)).0;
+        for p in [6usize, 8] {
+            // Kill the first transform replica after 3 items: the
+            // concatenated fold string detects any reordering or loss.
+            let plan = FaultPlan::new(p as u64).crash(1, CrashSite::Phase(3));
+            let out = run_spmd_ft(p, MachineModel::cray_t3d(), plan, |ctx| {
+                run_pipeline(&HeavyOrdered(60), ctx, PipelineConfig::default()).0
+            });
+            assert_eq!(out.leaked_messages, 0, "p={p}");
+            for (rank, res) in out.results.iter().enumerate() {
+                match res {
+                    Ok(s) => assert_eq!(*s, expected, "p={p} rank={rank}"),
+                    Err(f) => {
+                        assert_eq!(rank, 1, "p={p}: only the killed replica may fail");
+                        assert!(f.injected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_replica_death_reroutes_everything() {
+        use archetype_mp::{run_spmd_ft, CrashSite, FaultPlan};
+        let expected = run_sequential(&HeavyOrdered(30)).0;
+        // Phase(0): the replica dies before receiving a single item; its
+        // whole share lands on the other replica of its level.
+        let plan = FaultPlan::new(2).crash(2, CrashSite::Phase(0));
+        let out = run_spmd_ft(6, MachineModel::ibm_sp(), plan, |ctx| {
+            run_pipeline(&HeavyOrdered(30), ctx, PipelineConfig::default()).0
+        });
+        assert_eq!(out.leaked_messages, 0);
+        for (rank, res) in out.results.iter().enumerate() {
+            match res {
+                Ok(s) => assert_eq!(*s, expected, "rank={rank}"),
+                Err(f) => {
+                    assert_eq!(rank, 2);
+                    assert!(f.injected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failover_trace_conforms_to_the_extended_grammar() {
+        use archetype_mp::{run_spmd_ft, CrashSite, FaultPlan};
+        let trace = PhaseTrace::new();
+        let plan = FaultPlan::new(6).crash(2, CrashSite::Phase(2));
+        run_spmd_ft(6, MachineModel::ibm_sp(), plan, |ctx| {
+            let t = if ctx.rank() == 0 { Some(&trace) } else { None };
+            run_pipeline_traced(&HeavyOrdered(40), ctx, PipelineConfig::default(), t).0
+        });
+        let kinds = trace.kinds();
+        assert!(kinds.contains(&PhaseKind::Detect));
+        assert!(kinds.contains(&PhaseKind::Recover));
+        assert!(
+            PIPELINE.grammar.matches(&kinds),
+            "{kinds:?} rejected by the pipeline grammar"
+        );
     }
 
     #[test]

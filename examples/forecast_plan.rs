@@ -31,7 +31,10 @@ fn main() {
                 ctx,
                 &forecast_plan(cfg),
                 forecast_input(),
-                ComposeConfig { par: mode },
+                ComposeConfig {
+                    par: mode,
+                    ..ComposeConfig::default()
+                },
                 None,
             )
         })

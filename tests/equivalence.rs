@@ -410,7 +410,10 @@ fn composed_plan_results_and_stats_are_process_count_and_schedule_invariant() {
                     ctx,
                     &forecast_plan(forecast_mini()),
                     forecast_input(),
-                    ComposeConfig { par: mode },
+                    ComposeConfig {
+                        par: mode,
+                        ..ComposeConfig::default()
+                    },
                     None,
                 )
             });

@@ -22,6 +22,8 @@ fn farm_archetype_metadata_is_exposed() {
             PhaseKind::Seed,
             PhaseKind::Work,
             PhaseKind::Steal,
+            PhaseKind::Detect,
+            PhaseKind::Recover,
             PhaseKind::Terminate
         ]
     );
