@@ -3,10 +3,13 @@
 //! groups under the virtual-time model and writes `BENCH_dc.json` at the
 //! workspace root.
 //!
-//! All numbers are *virtual-time* measurements — deterministic by
-//! construction, so this snapshot is stable across hosts and runs; a
+//! The headline numbers are *virtual-time* measurements — deterministic
+//! by construction, so this snapshot is stable across hosts and runs; a
 //! regression here means the archetype's communication schedule or cost
-//! model changed, not that the machine was busy.
+//! model changed, not that the machine was busy. The recursive mergesort
+//! is additionally re-run on the real shared-memory backend to record
+//! host-dependent `wall_us` columns next to the modeled `virtual_ms`
+//! ones.
 //!
 //! Run with `cargo run --release -p archetype-bench --bin dc_scaling`.
 
@@ -15,7 +18,7 @@ use archetype_dc::{
     run_spmd_recursive, sequential_closest, Point, RecursiveClosest, RecursiveMergesort,
     RecursiveQuicksort,
 };
-use archetype_mp::{run_spmd, MachineModel};
+use archetype_mp::{run_spmd, run_spmd_real, MachineModel};
 
 fn points(n: usize) -> Vec<Point> {
     let coords = archetype_bench::random_i64s(2 * n, 0x9017);
@@ -56,6 +59,24 @@ fn main() {
     }
     let t1 = merge_times[0].1;
     let merge_speedup_8 = t1 / merge_times.iter().find(|(p, _)| *p == 8).unwrap().1;
+
+    // Same sort on the real shared-memory backend: measured wall_us
+    // columns next to the modeled virtual_ms ones, with the output
+    // required to stay identical.
+    let mut merge_wall = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let d = data.clone();
+        let out = run_spmd_real(p, model, move |ctx| {
+            let local = (ctx.rank() == 0).then(|| d.clone());
+            run_spmd_recursive(&RecursiveMergesort::<i64>::new(), ctx, local, &policy, None)
+        });
+        assert_eq!(
+            out.results[0].as_ref().expect("root holds the result"),
+            &expected,
+            "real backend must sort identically"
+        );
+        merge_wall.push((p, out.wall_us));
+    }
 
     // --- Recursive quicksort: 8 ranks vs 1. --------------------------------
     let qdata = archetype_bench::random_i64s(1 << 19, 0xfeed);
@@ -100,6 +121,12 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let fmt_walls = |v: &[(usize, u64)]| {
+        v.iter()
+            .map(|(p, w)| format!("\"{p}\": {w}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
 
     let json = format!(
         r#"{{
@@ -109,6 +136,7 @@ fn main() {
   "recursive_mergesort": {{
     "config": "2^20 i64, branching 2, model-chosen cutoff",
     "virtual_ms_by_ranks": {{ {} }},
+    "wall_us_by_ranks": {{ {} }},
     "speedup_8_ranks_vs_1": {merge_speedup_8:.2}
   }},
   "recursive_quicksort": {{
@@ -127,6 +155,7 @@ fn main() {
 "#,
         model.name,
         fmt_times(&merge_times),
+        fmt_walls(&merge_wall),
         qt1 * 1e3,
         qt8 * 1e3,
         qt1 / qt8,

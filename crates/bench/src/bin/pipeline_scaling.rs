@@ -3,15 +3,17 @@
 //! virtual-time model and writes `BENCH_pipeline.json` at the workspace
 //! root.
 //!
-//! All numbers here are *virtual-time* measurements — deterministic by
-//! construction, so this snapshot is stable across hosts and runs and a
-//! regression in it means the archetype's schedule changed, not that the
-//! machine was busy. The ≥3× 8-rank floor on the image chain is the
-//! fatal bar CI gates on.
+//! The headline numbers are *virtual-time* measurements — deterministic
+//! by construction, so this snapshot is stable across hosts and runs and
+//! a regression in it means the archetype's schedule changed, not that
+//! the machine was busy. The ≥3× 8-rank floor on the image chain is the
+//! fatal bar CI gates on. The image chain is additionally re-run on the
+//! real shared-memory backend to record host-dependent `wall_us` columns
+//! next to the modeled `virtual_ms` ones.
 //!
 //! Run with `cargo run --release -p archetype-bench --bin pipeline_scaling`.
 
-use archetype_mp::{run_spmd, MachineModel};
+use archetype_mp::{run_spmd, run_spmd_real, MachineModel};
 use archetype_pipeline::apps::{ImageChain, TopKStream};
 use archetype_pipeline::{run_pipeline, run_sequential, PipelineConfig};
 
@@ -40,6 +42,22 @@ fn main() {
     let t1 = image_times[0].1;
     let speedup_8 = t1 / image_times.iter().find(|(p, _)| *p == 8).unwrap().1;
     let speedup_16 = t1 / image_times.iter().find(|(p, _)| *p == 16).unwrap().1;
+
+    // Same chain on the real shared-memory backend: measured wall_us
+    // columns next to the modeled virtual_ms ones, with the summary
+    // required to stay bit-identical.
+    let mut image_wall = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let c = chain.clone();
+        let out = run_spmd_real(p, model, move |ctx| {
+            run_pipeline(&c, ctx, PipelineConfig::default())
+        });
+        assert_eq!(
+            out.results[0].0, reference,
+            "real backend must emit the identical summary"
+        );
+        image_wall.push((p, out.wall_us));
+    }
 
     // --- Top-k / percentile aggregator. -----------------------------------
     let stream = TopKStream::new(192, 256, 32, 128, 3.0);
@@ -80,6 +98,7 @@ fn main() {
   "image_chain": {{
     "config": "256x192, 32px tiles, 24 blur passes, blur->gradient->quantize",
     "virtual_ms_by_ranks": {{ {} }},
+    "wall_us_by_ranks": {{ {} }},
     "transform_ranks_by_ranks": {{ {} }},
     "speedup_8_ranks_vs_1": {speedup_8:.2},
     "speedup_16_ranks_vs_1": {speedup_16:.2}
@@ -96,6 +115,7 @@ fn main() {
 "#,
         model.name,
         fmt_times(&image_times),
+        fmt_counts(&image_wall),
         fmt_counts(&image_replicas),
         k1.elapsed_virtual * 1e3,
         k8.elapsed_virtual * 1e3,

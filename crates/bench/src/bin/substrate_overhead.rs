@@ -1,13 +1,18 @@
 //! Substrate-overhead snapshot: measures the executor, latency, and
 //! fan-out costs of the message-passing substrate and writes
 //! `BENCH_substrate.json` at the workspace root, so the perf trajectory
-//! of the communication hot path is tracked in-repo.
+//! of the communication hot path is tracked in-repo. The same dispatch,
+//! ping-pong, and broadcast shapes are re-measured on the real
+//! shared-memory backend and emitted as `wall_us` columns in a
+//! `real_backend` section.
 //!
 //! Run with `cargo run --release -p archetype-bench --bin substrate_overhead`.
 
 use std::time::Instant;
 
-use archetype_mp::{run_spmd, run_spmd_ft, run_spmd_unpooled, FaultPlan, MachineModel};
+use archetype_mp::{
+    run_spmd, run_spmd_ft, run_spmd_real, run_spmd_unpooled, FaultPlan, MachineModel,
+};
 
 /// Median-of-`reps` wall time of one `f()` call, in microseconds.
 fn time_us<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -100,6 +105,38 @@ fn main() {
         });
     });
 
+    // The same three shapes on the real shared-memory backend (lock-free
+    // MPSC channels instead of the mutex-based virtual-backend queues),
+    // reported as measured wall_us columns next to the modeled ones.
+    for _ in 0..5 {
+        run_spmd_real(NPROCS, model, |ctx| ctx.rank());
+    }
+    let real_dispatch_us = time_us(9, || {
+        for _ in 0..CALLS {
+            run_spmd_real(NPROCS, model, |ctx| ctx.rank());
+        }
+    }) / CALLS as f64;
+    let real_pp8 = time_us(9, || {
+        run_spmd_real(2, model, |ctx| {
+            let partner = 1 - ctx.rank();
+            for round in 0..100u64 {
+                if ctx.rank() == 0 {
+                    ctx.send(partner, round, vec![0u8; 8]);
+                    let _: Vec<u8> = ctx.recv(partner, round);
+                } else {
+                    let v: Vec<u8> = ctx.recv(partner, round);
+                    ctx.send(partner, round, v);
+                }
+            }
+        });
+    }) / 100.0;
+    let real_bcast_us = time_us(9, || {
+        run_spmd_real(NPROCS, model, |ctx| {
+            let v = (ctx.rank() == 0).then(|| vec![0u8; 1 << 20]);
+            ctx.broadcast(0, v).len()
+        });
+    });
+
     let json = format!(
         r#"{{
   "bench": "substrate_overhead",
@@ -118,6 +155,11 @@ fn main() {
   "fanout": {{
     "broadcast_1mb_16_us_per_call": {bcast_us:.1},
     "all_gather_64kb_16_us_per_call": {gather_us:.1}
+  }},
+  "real_backend": {{
+    "repeated_run_spmd_real_wall_us_per_call": {real_dispatch_us:.2},
+    "ping_pong_8b_wall_us_per_roundtrip": {real_pp8:.3},
+    "broadcast_1mb_16_wall_us_per_call": {real_bcast_us:.1}
   }}
 }}
 "#

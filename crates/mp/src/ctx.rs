@@ -1,7 +1,6 @@
 //! Per-rank execution context: the handle an SPMD process uses to send,
 //! receive, and charge compute time against the virtual clock.
 
-use crossbeam::channel::Sender;
 use std::sync::Arc;
 
 use crate::fault::{CrashSite, FaultPlan, InjectedCrash, RankDead};
@@ -10,6 +9,7 @@ use crate::model::MachineModel;
 use crate::packet::{Packet, PacketBody};
 use crate::payload::{Payload, Shared};
 use crate::stats::RankStats;
+use crate::transport::PacketSender;
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
 pub type Tag = u64;
@@ -26,8 +26,13 @@ pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
 pub struct Ctx {
     rank: usize,
     nprocs: usize,
-    /// `senders[dest]` is the channel on which *this* rank sends to `dest`.
-    senders: Vec<Sender<Packet>>,
+    /// `senders[dest]` is the channel on which *this* rank sends to
+    /// `dest` — backend-selected (virtual-time oracle or real lock-free
+    /// links; see [`crate::transport::Backend`]). The `Ctx` itself never
+    /// branches on the backend: clock accounting, matching, scoping, and
+    /// statistics are byte-for-byte the same code on both, which is why
+    /// results are bit-identical across backends.
+    senders: Vec<PacketSender>,
     mailbox: Mailbox,
     model: MachineModel,
     clock: f64,
@@ -63,7 +68,7 @@ impl Ctx {
     pub(crate) fn new(
         rank: usize,
         nprocs: usize,
-        senders: Vec<Sender<Packet>>,
+        senders: Vec<PacketSender>,
         mailbox: Mailbox,
         model: MachineModel,
     ) -> Self {
@@ -579,7 +584,7 @@ impl Ctx {
             .expect("the calling rank must be a member of the scope");
 
         let global: Vec<usize> = members.iter().map(|&m| self.peers[m]).collect();
-        let sub_senders: Vec<Sender<Packet>> =
+        let sub_senders: Vec<PacketSender> =
             members.iter().map(|&m| self.senders[m].clone()).collect();
         // Child scope id: FNV-1a over the parent scope, the salt, and the
         // members' world identities — so siblings (disjoint member lists),
@@ -614,7 +619,7 @@ impl Ctx {
 
     /// Dismantle the context, returning its channel endpoints so the
     /// runner can recycle the network for the next `run_spmd` call.
-    pub(crate) fn into_parts(self) -> (Vec<Sender<Packet>>, Mailbox) {
+    pub(crate) fn into_parts(self) -> (Vec<PacketSender>, Mailbox) {
         (self.senders, self.mailbox)
     }
 

@@ -26,6 +26,18 @@
 //! threads exchanging messages through channels, so the same code can be
 //! benchmarked for real with Criterion (see `archetype-bench`).
 //!
+//! ## Backends: modeled vs measured
+//!
+//! The transport underneath [`Ctx`] is pluggable ([`transport`]): the
+//! deterministic virtual-time backend above is the default, and
+//! [`run_spmd_with`] / [`run_spmd_real`] run the *same unmodified body*
+//! on a real shared-memory backend — in-repo lock-free MPSC channels,
+//! actual payload movement, real thread parallelism — reporting measured
+//! wall-clock time in [`runner::SpmdResult::wall_us`]. Results, per-rank
+//! clocks, and statistics are bit-identical across backends (enforced by
+//! `tests/backend_equivalence.rs`); only the headline number differs:
+//! `elapsed_virtual` is modeled, `wall_us` is measured.
+//!
 //! ## Substrate hot path
 //!
 //! [`run_spmd`] executes ranks on a **persistent worker pool**
@@ -68,6 +80,7 @@ pub mod runner;
 pub mod stats;
 pub mod tags;
 pub mod topology;
+pub mod transport;
 
 pub use costmeter::CostMeter;
 pub use ctx::{Ctx, Tag};
@@ -76,9 +89,10 @@ pub use group::Group;
 pub use model::{MachineModel, MemoryModel};
 pub use payload::{FixedSize, Payload, Shared};
 pub use runner::{
-    run_spmd, run_spmd_ft, run_spmd_quiet, run_spmd_unpooled, try_run_spmd, FtSpmdResult,
-    RankFailure, SpmdError, SpmdResult,
+    run_spmd, run_spmd_ft, run_spmd_quiet, run_spmd_real, run_spmd_unpooled, run_spmd_with,
+    try_run_spmd, FtSpmdResult, RankFailure, RunConfig, SpmdError, SpmdResult,
 };
 pub use stats::{RankStats, RunStats};
 pub use tags::{compose_tag, farm_tag, ft_tag, pipe_tag, ComposeTag, FarmTag, FtTag, PipeTag};
 pub use topology::{ProcessGrid2, ProcessGrid3};
+pub use transport::Backend;

@@ -11,11 +11,30 @@
 //! queue within each bucket. The scope key is what isolates
 //! [`crate::Ctx::scoped`] sections: sibling scopes may reuse identical
 //! tags without their traffic ever cross-matching.
+//!
+//! The channels underneath are backend-selected (see
+//! [`crate::transport::Backend`]): the deterministic virtual-time oracle
+//! and the real lock-free backend drive the *same* matching code, so the
+//! ordering contract below holds identically on both.
+//!
+//! ## Ordering contract
+//!
+//! Every receive in this substrate is **sender-addressed**: there is no
+//! receive-from-any primitive, so the only order a program can observe is
+//! per-(sender, scope, tag) FIFO — which both backends guarantee.
+//! **Cross-sender arrival order is unspecified.** Under the virtual
+//! backend, host arrival order happens to be serialized by thread
+//! scheduling but is never observable through matching; under the real
+//! backend, messages from different senders genuinely race. Code must
+//! never infer anything from the host-level interleaving of different
+//! senders' traffic — the leak check ([`Mailbox::unconsumed`]) and the
+//! fault-tolerant death signal ([`SenderDisconnected`]) are only
+//! meaningful at quiescence or after a sender provably terminated.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 
 use crate::packet::Packet;
+use crate::transport::{packet_channel, Backend, PacketReceiver, PacketSender};
 
 /// Error returned by [`Mailbox::try_recv_matching`] when the sending
 /// rank has terminated (channel empty and disconnected).
@@ -27,7 +46,7 @@ pub struct SenderDisconnected;
 /// already pulled off the channel but not yet matched, bucketed by
 /// (scope, tag).
 pub struct Mailbox {
-    from: Vec<Receiver<Packet>>,
+    from: Vec<PacketReceiver>,
     pending: Vec<HashMap<(u64, u64), VecDeque<Packet>>>,
 }
 
@@ -94,21 +113,22 @@ impl Mailbox {
             .flat_map(HashMap::values)
             .map(VecDeque::len)
             .sum::<usize>()
-            + self.from.iter().map(Receiver::len).sum::<usize>()
+            + self.from.iter().map(PacketReceiver::len).sum::<usize>()
     }
 }
 
-/// Builds the full `n × n` mesh of channels and splits it into the send
-/// sides (shared by all ranks) and the per-rank receive sides.
-pub fn build_network(n: usize) -> (Vec<Vec<Sender<Packet>>>, Vec<Mailbox>) {
+/// Builds the full `n × n` mesh of channels on the given backend and
+/// splits it into the send sides (shared by all ranks) and the per-rank
+/// receive sides.
+pub fn build_network(n: usize, backend: Backend) -> (Vec<Vec<PacketSender>>, Vec<Mailbox>) {
     // senders[dest][src] : channel on which `src` sends to `dest`.
-    let mut senders: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Vec<PacketSender>> = Vec::with_capacity(n);
     let mut mailboxes: Vec<Mailbox> = Vec::with_capacity(n);
     for _dest in 0..n {
         let mut row_tx = Vec::with_capacity(n);
         let mut row_rx = Vec::with_capacity(n);
         for _src in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = packet_channel(backend);
             row_tx.push(tx);
             row_rx.push(rx);
         }
@@ -125,6 +145,13 @@ pub fn build_network(n: usize) -> (Vec<Vec<Sender<Packet>>>, Vec<Mailbox>) {
 mod tests {
     use super::*;
     use crate::packet::PacketBody;
+
+    /// Virtual-backend network (the original test fixture); the real
+    /// backend's mirror tests live in [`real`] below and the heavy
+    /// threaded fuzzing in `tests/prop_mailbox.rs`.
+    fn net(n: usize) -> (Vec<Vec<PacketSender>>, Vec<Mailbox>) {
+        build_network(n, Backend::Virtual)
+    }
 
     fn pkt(from: usize, tag: u64, val: i32) -> Packet {
         pkt_scoped(from, 0, tag, val)
@@ -150,7 +177,7 @@ mod tests {
 
     #[test]
     fn fifo_order_within_same_tag() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         tx[0][1].send(pkt(1, 5, 10)).unwrap();
         tx[0][1].send(pkt(1, 5, 20)).unwrap();
         let a = mb[0].recv_matching(1, 0, 5);
@@ -161,7 +188,7 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved_through_pending_buffer() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         // Three same-tag messages buffered while waiting for another tag.
         tx[0][1].send(pkt(1, 9, 1)).unwrap();
         tx[0][1].send(pkt(1, 9, 2)).unwrap();
@@ -176,7 +203,7 @@ mod tests {
 
     #[test]
     fn tag_matching_skips_and_buffers() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         tx[0][1].send(pkt(1, 1, 100)).unwrap();
         tx[0][1].send(pkt(1, 2, 200)).unwrap();
         // Ask for tag 2 first; tag-1 message must be buffered, not lost.
@@ -189,7 +216,7 @@ mod tests {
 
     #[test]
     fn unconsumed_counts_pending_and_queued() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         tx[0][1].send(pkt(1, 9, 1)).unwrap();
         tx[0][1].send(pkt(1, 8, 2)).unwrap();
         tx[0][1].send(pkt(1, 9, 3)).unwrap();
@@ -200,7 +227,7 @@ mod tests {
 
     #[test]
     fn senders_are_independent() {
-        let (tx, mut mb) = build_network(3);
+        let (tx, mut mb) = net(3);
         tx[2][0].send(pkt(0, 1, 7)).unwrap();
         tx[2][1].send(pkt(1, 1, 8)).unwrap();
         // Receive from rank 1 first even though rank 0's message arrived first.
@@ -212,7 +239,7 @@ mod tests {
 
     #[test]
     fn many_distinct_tags_match_without_scanning() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         for t in 0..256u64 {
             tx[0][1].send(pkt(1, t, t as i32)).unwrap();
         }
@@ -226,7 +253,7 @@ mod tests {
 
     #[test]
     fn same_tag_different_scopes_do_not_alias() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         // Two messages with the same (sender, tag) but different scopes;
         // each receive must match only its own scope, in either order.
         tx[0][1].send(pkt_scoped(1, 7, 3, 111)).unwrap();
@@ -238,7 +265,7 @@ mod tests {
 
     #[test]
     fn try_recv_surfaces_disconnection_only_after_draining() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         tx[0][1].send(pkt(1, 4, 5)).unwrap();
         drop(tx); // the sending rank dies with one message in flight
         let delivered = mb[0].try_recv_matching(1, 0, 4).unwrap();
@@ -249,7 +276,7 @@ mod tests {
 
     #[test]
     fn fifo_order_holds_within_one_scope_across_interleaved_scopes() {
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = net(2);
         tx[0][1].send(pkt_scoped(1, 5, 9, 1)).unwrap();
         tx[0][1].send(pkt_scoped(1, 6, 9, 10)).unwrap();
         tx[0][1].send(pkt_scoped(1, 5, 9, 2)).unwrap();
@@ -259,5 +286,58 @@ mod tests {
         assert_eq!(val(mb[0].recv_matching(1, 6, 9)), 10);
         assert_eq!(val(mb[0].recv_matching(1, 6, 9)), 20);
         assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    /// The same matching contract on the real (lock-free) backend. These
+    /// mirror the virtual-backend tests above; the threaded interleaving
+    /// fuzz lives in `tests/prop_mailbox.rs`.
+    mod real {
+        use super::*;
+
+        fn net(n: usize) -> (Vec<Vec<PacketSender>>, Vec<Mailbox>) {
+            build_network(n, Backend::Real)
+        }
+
+        #[test]
+        fn fifo_and_tag_matching() {
+            let (tx, mut mb) = net(2);
+            tx[0][1].send(pkt(1, 9, 1)).unwrap();
+            tx[0][1].send(pkt(1, 9, 2)).unwrap();
+            tx[0][1].send(pkt(1, 8, 99)).unwrap();
+            assert_eq!(val(mb[0].recv_matching(1, 0, 8)), 99);
+            assert_eq!(val(mb[0].recv_matching(1, 0, 9)), 1);
+            assert_eq!(val(mb[0].recv_matching(1, 0, 9)), 2);
+            assert_eq!(mb[0].unconsumed(), 0);
+        }
+
+        #[test]
+        fn scopes_do_not_alias() {
+            let (tx, mut mb) = net(2);
+            tx[0][1].send(pkt_scoped(1, 7, 3, 111)).unwrap();
+            tx[0][1].send(pkt_scoped(1, 0, 3, 222)).unwrap();
+            assert_eq!(val(mb[0].recv_matching(1, 0, 3)), 222);
+            assert_eq!(val(mb[0].recv_matching(1, 7, 3)), 111);
+            assert_eq!(mb[0].unconsumed(), 0);
+        }
+
+        #[test]
+        fn disconnection_surfaces_only_after_draining() {
+            let (tx, mut mb) = net(2);
+            tx[0][1].send(pkt(1, 4, 5)).unwrap();
+            drop(tx);
+            assert_eq!(val(mb[0].try_recv_matching(1, 0, 4).unwrap()), 5);
+            let err = mb[0].try_recv_matching(1, 0, 4).unwrap_err();
+            assert_eq!(err, SenderDisconnected);
+        }
+
+        #[test]
+        fn unconsumed_counts_pending_and_queued() {
+            let (tx, mut mb) = net(2);
+            tx[0][1].send(pkt(1, 9, 1)).unwrap();
+            tx[0][1].send(pkt(1, 8, 2)).unwrap();
+            tx[0][1].send(pkt(1, 9, 3)).unwrap();
+            mb[0].recv_matching(1, 0, 8);
+            assert_eq!(mb[0].unconsumed(), 2);
+        }
     }
 }

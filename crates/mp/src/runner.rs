@@ -17,19 +17,29 @@
 //! only by the machine model and message arrival times, never by host
 //! scheduling, so `determinism_same_program_same_clocks` holds regardless
 //! of which threads execute which rank.
+//!
+//! Orthogonally to pooling, every run selects a transport [`Backend`]
+//! via [`RunConfig`] / [`run_spmd_with`]: the deterministic virtual-time
+//! oracle (the default — all plain entry points use it) or the real
+//! lock-free shared-memory backend, which moves the same payloads over
+//! the in-repo lock-free MPSC channels and reports measured wall-clock
+//! time in [`SpmdResult::wall_us`]. Results, clocks, and statistics are
+//! bit-identical across backends (see [`crate::transport`]); networks
+//! are recycled per (size, backend), so a cached virtual mesh can never
+//! be handed to a real run or vice versa.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 use crate::ctx::Ctx;
 use crate::fault::{FaultPlan, InjectedCrash};
 use crate::mailbox::{build_network, Mailbox};
 use crate::model::MachineModel;
-use crate::packet::Packet;
 use crate::pool;
 use crate::stats::{RankStats, RunStats};
-use crossbeam::channel::Sender;
+use crate::transport::{Backend, PacketSender};
 
 /// Lock a mutex, tolerating poison: a rank that panicked while holding
 /// the runner's bookkeeping locks must not wedge every later `run_spmd`
@@ -50,6 +60,12 @@ pub struct SpmdResult<R> {
     pub rank_times: Vec<f64>,
     /// Communication/computation statistics per rank.
     pub stats: RunStats,
+    /// Measured wall-clock time of the run (dispatch to last rank done),
+    /// in microseconds. This is the real backend's headline number; it is
+    /// populated on every backend (the virtual oracle's wall time is its
+    /// simulation cost, not a modeled quantity) and is the *only* field
+    /// that legitimately differs between backends or repeated runs.
+    pub wall_us: u64,
 }
 
 impl<R> SpmdResult<R> {
@@ -161,13 +177,15 @@ impl<R> FtSpmdResult<R> {
 /// mailbox. Owned by the rank's `Ctx` while running; returned afterwards
 /// so a clean network can be recycled.
 struct RankLinks {
-    senders: Vec<Sender<Packet>>,
+    senders: Vec<PacketSender>,
     mailbox: Mailbox,
 }
 
-/// Per-size cache of quiescent networks. Only networks whose every
-/// channel and pending buffer is empty (leak check passed) are returned
-/// here, so recycling can never leak a stale packet into the next run.
+/// Per-(size, backend) cache of quiescent networks. Only networks whose
+/// every channel and pending buffer is empty (leak check passed) are
+/// returned here, so recycling can never leak a stale packet into the
+/// next run — and keying by backend means a virtual mesh is never handed
+/// to a real run or vice versa.
 static NETWORK_CACHE: OnceLock<Mutex<NetworkCache>> = OnceLock::new();
 
 /// Networks kept per process count; each costs `n²` empty channels.
@@ -181,7 +199,7 @@ const CACHE_CHANNEL_BUDGET: usize = 32 * 1024;
 
 #[derive(Default)]
 struct NetworkCache {
-    by_size: HashMap<usize, Vec<Vec<RankLinks>>>,
+    by_size: HashMap<(usize, Backend), Vec<Vec<RankLinks>>>,
     /// Total channels (`Σ n²`) currently held in `by_size`.
     channels: usize,
 }
@@ -193,8 +211,8 @@ fn network_cache() -> &'static Mutex<NetworkCache> {
 /// Build a fresh network, transposed so each rank *owns* its outgoing
 /// channel ends: when a rank panics its senders drop, and peers blocked
 /// on receives from it fail fast rather than deadlocking.
-fn fresh_network(nprocs: usize) -> Vec<RankLinks> {
-    let (senders_by_dest, mailboxes) = build_network(nprocs);
+fn fresh_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
+    let (senders_by_dest, mailboxes) = build_network(nprocs, backend);
     mailboxes
         .into_iter()
         .enumerate()
@@ -207,24 +225,24 @@ fn fresh_network(nprocs: usize) -> Vec<RankLinks> {
         .collect()
 }
 
-fn acquire_network(nprocs: usize) -> Vec<RankLinks> {
+fn acquire_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
     {
         let mut cache = lock_unpoisoned(network_cache());
-        if let Some(links) = cache.by_size.get_mut(&nprocs).and_then(Vec::pop) {
+        if let Some(links) = cache.by_size.get_mut(&(nprocs, backend)).and_then(Vec::pop) {
             cache.channels -= nprocs * nprocs;
             return links;
         }
     }
-    fresh_network(nprocs)
+    fresh_network(nprocs, backend)
 }
 
-fn release_network(nprocs: usize, links: Vec<RankLinks>) {
+fn release_network(nprocs: usize, backend: Backend, links: Vec<RankLinks>) {
     let channels = nprocs * nprocs;
     let mut cache = lock_unpoisoned(network_cache());
     if cache.channels + channels > CACHE_CHANNEL_BUDGET {
         return; // over budget: drop the network instead of retaining it
     }
-    let slot = cache.by_size.entry(nprocs).or_default();
+    let slot = cache.by_size.entry((nprocs, backend)).or_default();
     if slot.len() < CACHED_NETWORKS_PER_SIZE {
         slot.push(links);
         cache.channels += channels;
@@ -271,7 +289,9 @@ fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> RankFa
 }
 
 /// The shared execution core: runs one rank per worker, contains every
-/// panic, and returns per-rank structured outcomes plus the leak count.
+/// panic, and returns per-rank structured outcomes, the leak count, and
+/// the measured wall-clock time (dispatch to last rank done) in
+/// microseconds.
 ///
 /// Network lifecycle: a *fully successful* pooled run with no stranded
 /// messages returns its network to the recycle cache; any run with a
@@ -284,16 +304,17 @@ fn run_inner_result<F, R>(
     fault: Option<Arc<FaultPlan>>,
     body: F,
     pooled: bool,
-) -> (Vec<Result<RankDone<R>, RankFailure>>, usize)
+    backend: Backend,
+) -> (Vec<Result<RankDone<R>, RankFailure>>, usize, u64)
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
     assert!(nprocs > 0, "need at least one process");
     let links = if pooled {
-        acquire_network(nprocs)
+        acquire_network(nprocs, backend)
     } else {
-        fresh_network(nprocs)
+        fresh_network(nprocs, backend)
     };
 
     let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
@@ -315,6 +336,7 @@ where
     let run_rank = &run_rank;
     let slots_ref = &slots;
 
+    let started = Instant::now();
     if pooled {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = links
             .into_iter()
@@ -335,6 +357,9 @@ where
             }
         });
     }
+    // Measured after the dispatch barrier: every rank has returned, so
+    // this spans the whole SPMD computation on either backend.
+    let wall_us = started.elapsed().as_micros() as u64;
 
     let mut outcomes = Vec::with_capacity(nprocs);
     let mut links_back = Vec::with_capacity(nprocs);
@@ -371,10 +396,62 @@ where
     // endpoints went down with their unwinds).
     let leaked: usize = links_back.iter().map(|l| l.mailbox.unconsumed()).sum();
     if pooled && !any_failed && leaked == 0 {
-        release_network(nprocs, links_back);
+        release_network(nprocs, backend, links_back);
     }
 
-    (outcomes, leaked)
+    (outcomes, leaked, wall_us)
+}
+
+/// How an SPMD run executes: which transport [`Backend`] carries the
+/// messages, whether ranks dispatch onto the persistent pool, and
+/// whether the post-run leak check is enforced. The default is exactly
+/// [`run_spmd`]'s behaviour (virtual time, pooled, leak-checked), so
+/// `run_spmd_with(n, model, RunConfig::default(), body)` ≡
+/// `run_spmd(n, model, body)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Transport backend (virtual-time oracle by default).
+    pub backend: Backend,
+    /// Dispatch ranks onto the persistent worker pool and recycle the
+    /// network (true, the default), or spawn fresh threads per call.
+    pub pooled: bool,
+    /// Panic if the run ends with unreceived messages (true by default).
+    pub check_leaks: bool,
+}
+
+impl RunConfig {
+    /// The default configuration, spelled out: virtual-time backend,
+    /// pooled dispatch, leak check on.
+    pub fn virtual_time() -> Self {
+        RunConfig {
+            backend: Backend::Virtual,
+            pooled: true,
+            check_leaks: true,
+        }
+    }
+
+    /// Real shared-memory backend (lock-free channels, measured
+    /// wall-clock `wall_us`); pooled and leak-checked like [`run_spmd`].
+    pub fn real() -> Self {
+        RunConfig {
+            backend: Backend::Real,
+            ..Self::virtual_time()
+        }
+    }
+
+    /// Same configuration on the other backend — handy for equivalence
+    /// harnesses that run each case twice.
+    pub fn on(self, backend: Backend) -> Self {
+        RunConfig { backend, ..self }
+    }
+}
+
+// `#[derive(Default)]` on a struct with `bool` fields would default them
+// to `false`; the semantic default is run_spmd's behaviour.
+impl std::default::Default for RunConfig {
+    fn default() -> Self {
+        Self::virtual_time()
+    }
 }
 
 /// Shared frontend for the panicking entry points: re-raises the first
@@ -386,12 +463,13 @@ fn run_checked<F, R>(
     body: F,
     check_leaks: bool,
     pooled: bool,
+    backend: Backend,
 ) -> SpmdResult<R>
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let (outcomes, leaked) = run_inner_result(nprocs, model, None, body, pooled);
+    let (outcomes, leaked, wall_us) = run_inner_result(nprocs, model, None, body, pooled, backend);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
@@ -421,6 +499,7 @@ where
         elapsed_virtual,
         rank_times,
         stats: RunStats { per_rank },
+        wall_us,
     }
 }
 
@@ -452,7 +531,56 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, true, true)
+    run_checked(nprocs, model, body, true, true, Backend::Virtual)
+}
+
+/// [`run_spmd`] with an explicit [`RunConfig`]: the entry point that
+/// selects the transport backend. `RunConfig::default()` reproduces
+/// [`run_spmd`] exactly; [`RunConfig::real`] runs the same unmodified
+/// body on the real lock-free shared-memory backend, whose measured
+/// wall-clock time lands in [`SpmdResult::wall_us`]. Results, per-rank
+/// clocks, and statistics are bit-identical across backends.
+///
+/// ```
+/// use archetype_mp::{run_spmd_with, MachineModel, RunConfig};
+///
+/// let body = |ctx: &mut archetype_mp::Ctx| {
+///     ctx.all_reduce(ctx.rank() as u64 + 1, |a, b| a + b)
+/// };
+/// let modeled = run_spmd_with(4, MachineModel::ibm_sp(), RunConfig::default(), body);
+/// let measured = run_spmd_with(4, MachineModel::ibm_sp(), RunConfig::real(), body);
+/// assert_eq!(modeled.results, measured.results);
+/// assert_eq!(modeled.rank_times, measured.rank_times);
+/// ```
+pub fn run_spmd_with<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    config: RunConfig,
+    body: F,
+) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    run_checked(
+        nprocs,
+        model,
+        body,
+        config.check_leaks,
+        config.pooled,
+        config.backend,
+    )
+}
+
+/// Convenience for [`run_spmd_with`]`(…, RunConfig::real(), …)`: run the
+/// body on the real shared-memory backend and read the measured time
+/// from [`SpmdResult::wall_us`].
+pub fn run_spmd_real<F, R>(nprocs: usize, model: MachineModel, body: F) -> SpmdResult<R>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    run_spmd_with(nprocs, model, RunConfig::real(), body)
 }
 
 /// Like [`run_spmd`] but without the message-leak check. Useful in tests
@@ -462,7 +590,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, false, true)
+    run_checked(nprocs, model, body, false, true, Backend::Virtual)
 }
 
 /// [`run_spmd`] on the seed execution path: fresh OS threads and a fresh
@@ -474,7 +602,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, true, false)
+    run_checked(nprocs, model, body, true, false, Backend::Virtual)
 }
 
 /// Like [`run_spmd`], but rank panics are contained and reported as a
@@ -506,7 +634,8 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let (outcomes, leaked) = run_inner_result(nprocs, model, None, body, true);
+    let (outcomes, leaked, wall_us) =
+        run_inner_result(nprocs, model, None, body, true, Backend::Virtual);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
@@ -535,6 +664,7 @@ where
         elapsed_virtual,
         rank_times,
         stats: RunStats { per_rank },
+        wall_us,
     })
 }
 
@@ -547,6 +677,12 @@ where
 /// (`FaultPlan::new(seed)`) it behaves exactly like [`run_spmd`] modulo
 /// the `Result`-wrapped outcomes — the configuration whose overhead the
 /// `substrate_overhead` bench pins.
+///
+/// Fault injection is deliberately **virtual-backend-only**: the
+/// disconnect-based death signal is the one substrate path whose timing
+/// depends on real scheduling, so recovery choreography is validated
+/// where it is deterministic. (The fault-free protocols those recoveries
+/// wrap run on either backend.)
 pub fn run_spmd_ft<F, R>(
     nprocs: usize,
     model: MachineModel,
@@ -557,7 +693,14 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let (outcomes, leaked) = run_inner_result(nprocs, model, Some(Arc::new(plan)), body, true);
+    let (outcomes, leaked, _wall_us) = run_inner_result(
+        nprocs,
+        model,
+        Some(Arc::new(plan)),
+        body,
+        true,
+        Backend::Virtual,
+    );
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
@@ -655,7 +798,7 @@ mod tests {
             .lock()
             .unwrap()
             .by_size
-            .get(&N)
+            .get(&(N, Backend::Virtual))
             .map_or(0, Vec::len);
         assert!(cached >= 1, "a clean {N}-rank network should be cached");
     }
@@ -670,9 +813,70 @@ mod tests {
             .lock()
             .unwrap()
             .by_size
-            .get(&N)
+            .get(&(N, Backend::Virtual))
             .map_or(0, Vec::len);
         assert_eq!(cached, 0, "an over-budget network must not be cached");
+    }
+
+    #[test]
+    fn backends_recycle_networks_independently() {
+        // Process count unique to this test (see
+        // repeated_runs_recycle_the_network for why that matters).
+        const N: usize = 29;
+        for _ in 0..3 {
+            run_spmd(N, MachineModel::zero_comm(), |ctx| {
+                ctx.all_reduce(1u64, |a, b| a + b)
+            });
+            run_spmd_real(N, MachineModel::zero_comm(), |ctx| {
+                ctx.all_reduce(1u64, |a, b| a + b)
+            });
+        }
+        let cache = network_cache().lock().unwrap();
+        let virt = cache
+            .by_size
+            .get(&(N, Backend::Virtual))
+            .map_or(0, Vec::len);
+        let real = cache.by_size.get(&(N, Backend::Real)).map_or(0, Vec::len);
+        assert!(virt >= 1, "virtual {N}-rank networks should be cached");
+        assert!(real >= 1, "real {N}-rank networks should be cached");
+    }
+
+    #[test]
+    fn real_backend_matches_virtual_and_measures_wall_time() {
+        let body = |ctx: &mut Ctx| {
+            let s = ctx.all_reduce(ctx.rank() as u64 + 1, |a, b| a + b);
+            let g = ctx.all_gather(ctx.rank() as u64);
+            ctx.charge_flops(1000.0);
+            ctx.barrier();
+            (s, g, ctx.now())
+        };
+        let modeled = run_spmd(5, MachineModel::ibm_sp(), body);
+        let measured = run_spmd_real(5, MachineModel::ibm_sp(), body);
+        assert_eq!(modeled.results, measured.results);
+        // The model clock is maintained identically on the real backend,
+        // so even the virtual times coincide bit-for-bit.
+        assert_eq!(modeled.rank_times, measured.rank_times);
+        assert_eq!(modeled.elapsed_virtual, measured.elapsed_virtual);
+    }
+
+    #[test]
+    fn run_config_default_is_run_spmd() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg, RunConfig::virtual_time());
+        assert_eq!(cfg.backend, Backend::Virtual);
+        assert!(cfg.pooled);
+        assert!(cfg.check_leaks);
+        assert_eq!(RunConfig::real().on(Backend::Virtual), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreceived message")]
+    fn leak_check_holds_on_real_backend() {
+        run_spmd_real(2, MachineModel::ibm_sp(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, 1u8); // never received
+            }
+        });
     }
 
     #[test]

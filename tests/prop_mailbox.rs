@@ -7,12 +7,19 @@
 //! buffer is exercised in isolation: every receive for a tag whose
 //! messages were pulled off the channel while matching *other* tags hits
 //! the buffered path.
+//!
+//! The single-threaded properties run against the virtual backend; the
+//! `real_backend_*` properties below run the same matching contract over
+//! the real lock-free channels with genuinely concurrent sender threads —
+//! per-tag FIFO and per-sender independence must hold *without* the
+//! virtual clock (or any lock) serializing deliveries.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use parallel_archetypes::mp::mailbox::build_network;
 use parallel_archetypes::mp::packet::{Packet, PacketBody};
+use parallel_archetypes::mp::transport::Backend;
 
 fn pkt(from: usize, tag: u64, value: u64) -> Packet {
     Packet {
@@ -42,7 +49,7 @@ proptest! {
     ) {
         // Send messages with random tags, stamping each with its global
         // send index; then drain in a (different) randomized tag order.
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = build_network(2, Backend::Virtual);
         let mut per_tag: std::collections::HashMap<u64, std::collections::VecDeque<u64>> =
             std::collections::HashMap::new();
         for (i, &t) in tags.iter().enumerate() {
@@ -82,7 +89,7 @@ proptest! {
         // receives the oldest outstanding message of a random
         // already-sent tag. Receiving a tag whose turn hasn't come yet
         // forces other tags through the pending buffer.
-        let (tx, mut mb) = build_network(2);
+        let (tx, mut mb) = build_network(2, Backend::Virtual);
         let mut outstanding: std::collections::HashMap<u64, std::collections::VecDeque<u64>> =
             std::collections::HashMap::new();
         let mut sent = 0u64;
@@ -133,7 +140,7 @@ proptest! {
         // per-(sender, tag) FIFO must hold for each independently even
         // when all of one sender's traffic is buffered while draining
         // the other.
-        let (tx, mut mb) = build_network(3);
+        let (tx, mut mb) = build_network(3, Backend::Virtual);
         for (i, &t) in tags_a.iter().enumerate() {
             tx[2][0].send(pkt(0, t, i as u64)).unwrap();
         }
@@ -167,6 +174,153 @@ proptest! {
             while let Some(e) = expect_a.get_mut(&t).unwrap().pop_front() {
                 prop_assert_eq!(value(mb[2].recv_matching(0, 0, t)), e);
             }
+        }
+        prop_assert_eq!(mb[2].unconsumed(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Real backend: the same contract over the lock-free channels.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn real_backend_randomized_interleavings_preserve_per_tag_fifo(
+        tags in vec(0u64..6, 1..60),
+        drain_order in vec(any::<u32>(), 1..60),
+    ) {
+        // Identical schedule to the virtual-backend property above, but
+        // over the lock-free queue: the pending-buffer path must behave
+        // the same on both transports.
+        let (tx, mut mb) = build_network(2, Backend::Real);
+        let mut per_tag: std::collections::HashMap<u64, std::collections::VecDeque<u64>> =
+            std::collections::HashMap::new();
+        for (i, &t) in tags.iter().enumerate() {
+            tx[0][1].send(pkt(1, t, i as u64)).unwrap();
+            per_tag.entry(t).or_default().push_back(i as u64);
+        }
+        prop_assert_eq!(mb[0].unconsumed(), tags.len());
+
+        let mut remaining: Vec<u64> = per_tag.keys().copied().collect();
+        remaining.sort_unstable();
+        let mut pick = 0usize;
+        while !remaining.is_empty() {
+            let choice = drain_order[pick % drain_order.len()] as usize % remaining.len();
+            pick += 1;
+            let t = remaining[choice];
+            let got = value(mb[0].recv_matching(1, 0, t));
+            let expected = per_tag.get_mut(&t).unwrap().pop_front().unwrap();
+            prop_assert_eq!(got, expected, "same-tag messages must arrive in send order");
+            if per_tag[&t].is_empty() {
+                remaining.remove(choice);
+            }
+        }
+        prop_assert_eq!(mb[0].unconsumed(), 0);
+    }
+
+    #[test]
+    fn real_backend_threaded_senders_preserve_per_sender_fifo(
+        tags_a in vec(0u64..4, 1..40),
+        tags_b in vec(0u64..4, 1..40),
+        drain_order in vec(any::<u32>(), 1..40),
+    ) {
+        // Two *threads* blast tag streams at one receiver concurrently —
+        // nothing serializes deliveries across senders. The receiver
+        // drains (sender, tag) streams in a scrambled order; per-sender
+        // per-tag FIFO must still hold, and blocking receives must wake
+        // correctly even when posted before the message exists.
+        let (mut tx, mut mb) = build_network(3, Backend::Real);
+        let row = tx.remove(2); // senders[2][src]: links into rank 2
+        let mut row = row.into_iter();
+        let s0 = row.next().unwrap();
+        let s1 = row.next().unwrap();
+        let ta = tags_a.clone();
+        let tb = tags_b.clone();
+        let h0 = std::thread::spawn(move || {
+            for (i, &t) in ta.iter().enumerate() {
+                s0.send(pkt(0, t, i as u64)).unwrap();
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let h1 = std::thread::spawn(move || {
+            for (i, &t) in tb.iter().enumerate() {
+                s1.send(pkt(1, t, 1000 + i as u64)).unwrap();
+                if i % 5 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        // Expected per-(sender, tag) streams.
+        let mut expect: std::collections::HashMap<(usize, u64), std::collections::VecDeque<u64>> =
+            std::collections::HashMap::new();
+        for (i, &t) in tags_a.iter().enumerate() {
+            expect.entry((0, t)).or_default().push_back(i as u64);
+        }
+        for (i, &t) in tags_b.iter().enumerate() {
+            expect.entry((1, t)).or_default().push_back(1000 + i as u64);
+        }
+        let mut remaining: Vec<(usize, u64)> = expect.keys().copied().collect();
+        remaining.sort_unstable();
+        let mut pick = 0usize;
+        while !remaining.is_empty() {
+            let choice = drain_order[pick % drain_order.len()] as usize % remaining.len();
+            pick += 1;
+            let (s, t) = remaining[choice];
+            // Blocks until the concurrent sender produces this message.
+            let got = value(mb[2].recv_matching(s, 0, t));
+            let expected = expect.get_mut(&(s, t)).unwrap().pop_front().unwrap();
+            prop_assert_eq!(got, expected, "per-sender FIFO broke for sender {} tag {}", s, t);
+            if expect[&(s, t)].is_empty() {
+                remaining.remove(choice);
+            }
+        }
+        h0.join().unwrap();
+        h1.join().unwrap();
+        prop_assert_eq!(mb[2].unconsumed(), 0);
+    }
+
+    #[test]
+    fn real_backend_cross_sender_arrival_order_is_unspecified(
+        n_each in 1usize..30,
+        stagger in any::<bool>(),
+    ) {
+        // Contract test (see mp::mailbox docs): cross-sender arrival
+        // order is unspecified, and matching must be insensitive to it.
+        // Two concurrent senders race the same tag at one receiver; the
+        // receiver *chooses* which sender to drain first, and the values
+        // observed depend only on that choice — never on which thread's
+        // messages physically landed first.
+        let (mut tx, mut mb) = build_network(3, Backend::Real);
+        let row = tx.remove(2);
+        let mut row = row.into_iter();
+        let s0 = row.next().unwrap();
+        let s1 = row.next().unwrap();
+        let handles = [
+            std::thread::spawn(move || {
+                for i in 0..n_each {
+                    s0.send(pkt(0, 7, i as u64)).unwrap();
+                }
+            }),
+            std::thread::spawn(move || {
+                for i in 0..n_each {
+                    if stagger {
+                        std::thread::yield_now();
+                    }
+                    s1.send(pkt(1, 7, 1000 + i as u64)).unwrap();
+                }
+            }),
+        ];
+        // Drain sender 1 first, then sender 0 — regardless of real-time
+        // arrival interleaving, each stream reads back pure and in order.
+        for i in 0..n_each {
+            prop_assert_eq!(value(mb[2].recv_matching(1, 0, 7)), 1000 + i as u64);
+        }
+        for i in 0..n_each {
+            prop_assert_eq!(value(mb[2].recv_matching(0, 0, 7)), i as u64);
+        }
+        for h in handles {
+            h.join().unwrap();
         }
         prop_assert_eq!(mb[2].unconsumed(), 0);
     }
