@@ -161,7 +161,10 @@ pub struct ComposeStats {
 impl_fixed_size!(ComposeStats);
 
 impl ComposeStats {
-    fn combine(a: ComposeStats, b: ComposeStats) -> ComposeStats {
+    /// Merge two stat records: counters add, depths max. Used by the
+    /// executor's collective reduction and by the plan service to fold
+    /// per-submission stats into per-tenant totals.
+    pub fn combine(a: ComposeStats, b: ComposeStats) -> ComposeStats {
         ComposeStats {
             atoms: a.atoms + b.atoms,
             seq_stages: a.seq_stages + b.seq_stages,
@@ -198,7 +201,7 @@ impl Payload for Handoff {
     }
 }
 
-fn mix(a: u64, b: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     let mut h = 0x9e3779b97f4a7c15u64 ^ a;
     h = h.wrapping_mul(0x100000001b3);
     h ^= b;

@@ -37,6 +37,7 @@ use archetype_mp::{Ctx, ProcessGrid2};
 use archetype_pipeline::apps::ChunkedStream;
 use archetype_pipeline::{run_pipeline_traced, PipelineConfig};
 
+use crate::exec::mix;
 use crate::job::ArchetypeJob;
 use crate::plan::Plan;
 use crate::value::Value;
@@ -71,6 +72,13 @@ impl ArchetypeJob for SweepJob {
     fn run(&self, ctx: &mut Ctx, _input: (), trace: Option<&PhaseTrace>) -> Vec<f64> {
         let (scores, _stats) = run_farm_traced(&self.farm, ctx, FarmConfig::default(), trace);
         scores.into_iter().map(|(_, s)| s).collect()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        mix(
+            mix(self.farm.lo.to_bits(), self.farm.hi.to_bits()),
+            u64::from(self.farm.points),
+        )
     }
 }
 
@@ -112,6 +120,15 @@ impl ArchetypeJob for PoissonJob {
         let grid = Self::grid_for(ctx.nprocs());
         let result = poisson_spmd_traced(ctx, &self.spec, grid, trace);
         result.grid.unwrap_or_default() // the solution lands on rank 0
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // The rhs/boundary fn pointers are not part of the identity; all
+        // in-repo specs come from `sine_problem`.
+        mix(
+            mix(self.spec.nx as u64, self.spec.ny as u64),
+            mix(self.spec.tolerance.to_bits(), self.spec.max_iters as u64),
+        )
     }
 }
 
@@ -171,6 +188,13 @@ impl ArchetypeJob for SortJob {
         )
         .unwrap_or_default() // the sorted keys land on rank 0
     }
+
+    fn fingerprint(&self) -> u64 {
+        mix(
+            mix(self.policy.branching as u64, self.policy.min_items as u64),
+            self.policy.max_depth as u64,
+        )
+    }
 }
 
 /// The digest stage: streams the sorted keys (as values) through the
@@ -226,6 +250,13 @@ impl ArchetypeJob for TopKJob {
         ];
         out.extend(digest.top.iter().copied());
         out
+    }
+
+    fn fingerprint(&self) -> u64 {
+        mix(
+            mix(self.chunk_len as u64, self.k as u64),
+            mix(self.buckets as u64, self.cutoff.to_bits()),
+        )
     }
 }
 

@@ -50,6 +50,16 @@ pub trait ArchetypeJob: Send + Sync {
 
     /// Execute the archetype on the current (already scoped) group.
     fn run(&self, ctx: &mut Ctx, input: Self::In, trace: Option<&PhaseTrace>) -> Self::Out;
+
+    /// Hash of the job's *configuration* — everything beyond its name
+    /// that steers what it computes (problem sizes, policies, scale
+    /// factors). Two atoms with equal `(name, fingerprint)` must be
+    /// interchangeable, because the plan service's structure cache keys
+    /// memoized grammars and cost estimates on it. The default (`0`) is
+    /// safe only for jobs whose name fully determines their behaviour.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 /// Object-safe erased form of [`ArchetypeJob`], stored in plan atoms.
@@ -57,7 +67,9 @@ pub(crate) trait DynJob: Send + Sync {
     fn name(&self) -> &'static str;
     fn info(&self) -> &'static ArchetypeInfo;
     fn estimate_flops(&self, input: &Value) -> f64;
+    fn try_estimate_flops(&self, input: &Value) -> Option<f64>;
     fn run(&self, ctx: &mut Ctx, input: Value, trace: Option<&PhaseTrace>) -> Value;
+    fn fingerprint(&self) -> u64;
 }
 
 /// The adapter that erases a typed job.
@@ -81,9 +93,17 @@ impl<J: ArchetypeJob> DynJob for JobAdapter<J> {
         }
     }
 
+    fn try_estimate_flops(&self, input: &Value) -> Option<f64> {
+        J::In::accepts(input).then(|| self.estimate_flops(input))
+    }
+
     fn run(&self, ctx: &mut Ctx, input: Value, trace: Option<&PhaseTrace>) -> Value {
         self.0
             .run(ctx, J::In::from_value(input), trace)
             .into_value()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.0.fingerprint()
     }
 }

@@ -53,6 +53,7 @@ mod exec;
 mod forecast;
 mod job;
 mod plan;
+mod serve;
 mod value;
 
 pub use alloc::allocate;
@@ -65,4 +66,8 @@ pub use forecast::{
 };
 pub use job::ArchetypeJob;
 pub use plan::Plan;
+pub use serve::{
+    pack_waves, AdmitError, CacheStats, PlanService, ServeConfig, ServeOutcome, ServeReport,
+    TenantId, TenantStats, Wave,
+};
 pub use value::{ComposeData, Value};

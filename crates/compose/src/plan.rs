@@ -117,6 +117,45 @@ impl Plan {
         }
     }
 
+    /// Structural identity of the plan: an FNV-1a fold, in preorder, of
+    /// each node's constructor tag, child count, and — for atoms — the
+    /// job's name and [`ArchetypeJob::fingerprint`]. Two plans with equal
+    /// hashes have the same tree shape over interchangeable atoms, so the
+    /// plan service memoizes derived grammars, node/atom counts, and
+    /// allocations under this key across identical submissions.
+    pub fn structure_hash(&self) -> u64 {
+        fn fnv(h: u64, x: u64) -> u64 {
+            let mut h = h;
+            for shift in [0u32, 16, 32, 48] {
+                h ^= (x >> shift) & 0xffff;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+        fn go(p: &Plan, mut h: u64) -> u64 {
+            match &p.node {
+                PlanNode::Atom(job) => {
+                    h = fnv(h, 1);
+                    for b in job.name().bytes() {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    fnv(h, job.fingerprint())
+                }
+                PlanNode::Seq(xs) => {
+                    h = fnv(fnv(h, 2), xs.len() as u64);
+                    xs.iter().fold(h, |h, x| go(x, h))
+                }
+                PlanNode::Par(xs) => {
+                    h = fnv(fnv(h, 3), xs.len() as u64);
+                    xs.iter().fold(h, |h, x| go(x, h))
+                }
+                PlanNode::Replicate(n, inner) => go(inner, fnv(fnv(h, 4), *n as u64)),
+            }
+        }
+        go(self, 0xcbf2_9ce4_8422_2325)
+    }
+
     /// Number of atom *executions* a run of this plan performs
     /// (`Replicate` bodies counted once per copy).
     pub fn atoms(&self) -> u64 {
@@ -151,6 +190,34 @@ impl Plan {
                     parts.iter().map(|part| inner.estimate_flops(part)).sum()
                 }
                 other => *n as f64 * inner.estimate_flops(other),
+            },
+        }
+    }
+
+    /// [`Plan::estimate_flops`], tolerant of shape mismatches: atoms
+    /// whose typed input cannot be recovered from the value at hand
+    /// (e.g. a later `Seq` stage whose real input only exists at run
+    /// time) contribute `0` instead of panicking. The plan service
+    /// prices admission with this — an under-estimate only skews the
+    /// scheduler's rank shares, never results.
+    pub fn estimate_flops_lenient(&self, input: &Value) -> f64 {
+        match &self.node {
+            PlanNode::Atom(job) => job.try_estimate_flops(input).unwrap_or(0.0),
+            PlanNode::Seq(xs) => xs.iter().map(|s| s.estimate_flops_lenient(input)).sum(),
+            PlanNode::Par(xs) => match input {
+                Value::Tuple(parts) if parts.len() == xs.len() => xs
+                    .iter()
+                    .zip(parts)
+                    .map(|(b, part)| b.estimate_flops_lenient(part))
+                    .sum(),
+                other => xs.iter().map(|b| b.estimate_flops_lenient(other)).sum(),
+            },
+            PlanNode::Replicate(n, inner) => match input {
+                Value::Tuple(parts) if parts.len() == *n => parts
+                    .iter()
+                    .map(|part| inner.estimate_flops_lenient(part))
+                    .sum(),
+                other => *n as f64 * inner.estimate_flops_lenient(other),
             },
         }
     }

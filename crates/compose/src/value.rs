@@ -95,6 +95,10 @@ pub trait ComposeData: Send + Sized + 'static {
     fn peek(_v: &Value) -> Option<&Self> {
         None
     }
+    /// True if `from_value(v.clone())` would succeed — the shape check
+    /// lenient pricing ([`crate::Plan::estimate_flops_lenient`]) uses to
+    /// skip stages whose inputs only exist at run time.
+    fn accepts(v: &Value) -> bool;
 }
 
 impl ComposeData for () {
@@ -109,6 +113,9 @@ impl ComposeData for () {
     }
     fn peek(v: &Value) -> Option<&Self> {
         matches!(v, Value::Unit).then_some(&())
+    }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::Unit)
     }
 }
 
@@ -128,6 +135,9 @@ impl ComposeData for u64 {
             _ => None,
         }
     }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::U64(_))
+    }
 }
 
 impl ComposeData for f64 {
@@ -145,6 +155,9 @@ impl ComposeData for f64 {
             Value::F64(x) => Some(x),
             _ => None,
         }
+    }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::F64(_))
     }
 }
 
@@ -164,6 +177,9 @@ impl ComposeData for Vec<i64> {
             _ => None,
         }
     }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::I64s(_))
+    }
 }
 
 impl ComposeData for Vec<f64> {
@@ -182,6 +198,9 @@ impl ComposeData for Vec<f64> {
             _ => None,
         }
     }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::F64s(_))
+    }
 }
 
 /// The identity conversion: a job that wants to handle the dynamic value
@@ -195,6 +214,9 @@ impl ComposeData for Value {
     }
     fn peek(v: &Value) -> Option<&Self> {
         Some(v)
+    }
+    fn accepts(_v: &Value) -> bool {
+        true
     }
 }
 
@@ -213,6 +235,9 @@ impl<A: ComposeData, B: ComposeData> ComposeData for (A, B) {
             }
             other => wiring_bug("Tuple(_, _)", &other),
         }
+    }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::Tuple(vs) if vs.len() == 2 && A::accepts(&vs[0]) && B::accepts(&vs[1]))
     }
 }
 
@@ -236,6 +261,10 @@ impl<A: ComposeData, B: ComposeData, C: ComposeData> ComposeData for (A, B, C) {
             }
             other => wiring_bug("Tuple(_, _, _)", &other),
         }
+    }
+    fn accepts(v: &Value) -> bool {
+        matches!(v, Value::Tuple(vs)
+            if vs.len() == 3 && A::accepts(&vs[0]) && B::accepts(&vs[1]) && C::accepts(&vs[2]))
     }
 }
 

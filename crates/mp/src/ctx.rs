@@ -55,6 +55,11 @@ pub struct Ctx {
     /// Shared fault schedule installed by [`crate::run_spmd_ft`]; `None`
     /// (the default) keeps every injection hook to a single branch.
     fault: Option<Arc<FaultPlan>>,
+    /// Precomputed [`FaultPlan::hooks_live`] of the installed plan: false
+    /// for no plan *and* for an inert plan, so idle fault-aware runs skip
+    /// the per-operation hooks (and their counters) entirely and pay
+    /// exactly one predictable branch per send/receive.
+    fault_hot: bool,
     /// Operation counters keying the crash schedule: world-rank-local
     /// indices of sends, receives, and [`Ctx::fault_point`] calls. They
     /// deliberately survive [`Ctx::scoped`] sections — a crash site
@@ -85,6 +90,7 @@ impl Ctx {
             scope: 0,
             peers: (0..nprocs).collect(),
             fault: None,
+            fault_hot: false,
             send_ops: 0,
             recv_ops: 0,
             phase_ops: 0,
@@ -94,6 +100,7 @@ impl Ctx {
     /// Install the shared fault schedule (called by [`crate::run_spmd_ft`]
     /// before the body runs).
     pub(crate) fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_hot = plan.hooks_live();
         self.fault = Some(plan);
     }
 
@@ -199,7 +206,7 @@ impl Ctx {
     ) -> Result<(), RankDead> {
         assert!(to < self.nprocs, "send to rank {to} out of range");
         let mut arrival_time = self.clock + self.model.wire_time(bytes);
-        if self.fault.is_some() {
+        if self.fault_hot {
             arrival_time += self.fault_send_hook(to, tag);
         }
         self.clock += self.model.send_overhead;
@@ -273,7 +280,7 @@ impl Ctx {
     /// [`FaultPlan`] with a matching [`CrashSite::Phase`] entry kills the
     /// rank here with a real panic. A no-op without an installed plan.
     pub fn fault_point(&mut self) {
-        if self.fault.is_none() {
+        if !self.fault_hot {
             return;
         }
         let op = self.phase_ops;
@@ -309,7 +316,7 @@ impl Ctx {
     /// Block for the next matching packet and charge receive-side costs.
     fn recv_packet(&mut self, from: usize, tag: Tag) -> Packet {
         assert!(from < self.nprocs, "recv from rank {from} out of range");
-        if self.fault.is_some() {
+        if self.fault_hot {
             self.fault_recv_hook();
         }
         let pkt = self
@@ -325,7 +332,7 @@ impl Ctx {
     /// timeout, keeping clocks deterministic.
     fn try_recv_packet(&mut self, from: usize, tag: Tag) -> Result<Packet, RankDead> {
         assert!(from < self.nprocs, "recv from rank {from} out of range");
-        if self.fault.is_some() {
+        if self.fault_hot {
             self.fault_recv_hook();
         }
         let sender = self.peers[from];

@@ -234,6 +234,18 @@ impl FaultPlan {
         self.delay_prob > 0.0 || self.drop_prob > 0.0 || self.dup_prob > 0.0
     }
 
+    /// True if the per-operation substrate hooks (send/receive/phase) can
+    /// ever fire for this plan: a scheduled crash or a nonzero delay
+    /// probability. When false the substrate skips the hook calls — and
+    /// their operation counters — entirely, so an inert plan's runs are
+    /// indistinguishable from plain runs on the hot path. Drop/duplicate
+    /// faults are handled inside the fault-aware channel primitives and
+    /// atom failures inside the composition retry loop, neither of which
+    /// goes through these hooks.
+    pub fn hooks_live(&self) -> bool {
+        !self.crashes.is_empty() || self.delay_prob > 0.0
+    }
+
     /// The retransmission timeout charged per dropped attempt.
     pub fn retransmit_timeout(&self) -> f64 {
         self.retransmit_timeout

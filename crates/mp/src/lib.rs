@@ -89,8 +89,9 @@ pub use group::Group;
 pub use model::{MachineModel, MemoryModel};
 pub use payload::{FixedSize, Payload, Shared};
 pub use runner::{
-    run_spmd, run_spmd_ft, run_spmd_quiet, run_spmd_real, run_spmd_unpooled, run_spmd_with,
-    try_run_spmd, FtSpmdResult, RankFailure, RunConfig, SpmdError, SpmdResult,
+    run_spmd, run_spmd_ft, run_spmd_ft_with, run_spmd_quiet, run_spmd_real, run_spmd_unpooled,
+    run_spmd_with, try_run_spmd, try_run_spmd_with, FtSpmdResult, RankFailure, RunConfig,
+    SpmdError, SpmdResult,
 };
 pub use stats::{RankStats, RunStats};
 pub use tags::{compose_tag, farm_tag, ft_tag, pipe_tag, ComposeTag, FarmTag, FtTag, PipeTag};

@@ -113,22 +113,53 @@ impl std::fmt::Display for RankFailure {
 
 impl std::error::Error for RankFailure {}
 
-/// Error returned by [`try_run_spmd`] when one or more ranks failed.
-/// The channel network of a failed run is always quarantined (dropped),
-/// never recycled: a dead rank may have left messages in flight.
+/// Error returned by the fallible entry points ([`try_run_spmd`],
+/// [`try_run_spmd_with`], [`run_spmd_ft_with`]).
 #[derive(Clone, Debug)]
-pub struct SpmdError {
-    /// The failed ranks, in rank order.
-    pub failures: Vec<RankFailure>,
+pub enum SpmdError {
+    /// One or more ranks failed. The channel network of a failed run is
+    /// always quarantined (dropped), never recycled: a dead rank may
+    /// have left messages in flight.
+    Ranks {
+        /// The failed ranks, in rank order.
+        failures: Vec<RankFailure>,
+    },
+    /// The entry point rejected the requested configuration before
+    /// anything ran — e.g. fault injection on [`Backend::Real`], whose
+    /// disconnect-based death signal depends on real scheduling and is
+    /// therefore only validated on the deterministic virtual backend.
+    UnsupportedBackend {
+        /// The entry point that rejected the configuration.
+        entry: &'static str,
+        /// The rejected backend.
+        backend: Backend,
+    },
+}
+
+impl SpmdError {
+    /// The failed ranks, in rank order (empty for configuration errors).
+    pub fn failures(&self) -> &[RankFailure] {
+        match self {
+            SpmdError::Ranks { failures } => failures,
+            SpmdError::UnsupportedBackend { .. } => &[],
+        }
+    }
 }
 
 impl std::fmt::Display for SpmdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} rank(s) failed:", self.failures.len())?;
-        for failure in &self.failures {
-            write!(f, " [{failure}]")?;
+        match self {
+            SpmdError::Ranks { failures } => {
+                write!(f, "{} rank(s) failed:", failures.len())?;
+                for failure in failures {
+                    write!(f, " [{failure}]")?;
+                }
+                Ok(())
+            }
+            SpmdError::UnsupportedBackend { entry, backend } => {
+                write!(f, "{entry} does not support Backend::{backend:?}")
+            }
         }
-        Ok(())
     }
 }
 
@@ -194,14 +225,51 @@ const CACHED_NETWORKS_PER_SIZE: usize = 2;
 /// Upper bound on the total number of empty channels retained across all
 /// cached networks, so sweeping many process counts (or one huge run)
 /// cannot pin unbounded memory for the process lifetime. 32k channels ≈
-/// the meshes of two 128-rank runs.
+/// the meshes of two 128-rank runs. When a releasing run would push the
+/// cache over this budget, the least-recently-released entries are
+/// evicted to make room — so under plan-service churn across many
+/// distinct subgroup sizes the cache tracks the *live* size mix instead
+/// of pinning the budget with whatever sizes happened to run first.
 const CACHE_CHANNEL_BUDGET: usize = 32 * 1024;
+
+/// One cached quiescent network and the release stamp eviction orders by.
+struct CachedNetwork {
+    links: Vec<RankLinks>,
+    /// Value of [`NetworkCache::clock`] when this network was released;
+    /// entries with the smallest stamp are evicted first.
+    stamp: u64,
+}
 
 #[derive(Default)]
 struct NetworkCache {
-    by_size: HashMap<(usize, Backend), Vec<Vec<RankLinks>>>,
+    by_size: HashMap<(usize, Backend), Vec<CachedNetwork>>,
     /// Total channels (`Σ n²`) currently held in `by_size`.
     channels: usize,
+    /// Monotone release counter backing the LRU stamps.
+    clock: u64,
+}
+
+impl NetworkCache {
+    /// Drop the least-recently-released cached network. Within a slot
+    /// entries are pushed in release order, so the front of the slot with
+    /// the globally smallest stamp is the eviction victim. Slots never
+    /// stay empty, so the key count is bounded by the live entry count.
+    fn evict_stalest(&mut self) {
+        let victim = self
+            .by_size
+            .iter()
+            .min_by_key(|(_, slot)| slot.first().map_or(u64::MAX, |e| e.stamp))
+            .map(|(&key, _)| key);
+        let Some(key @ (nprocs, _)) = victim else {
+            return;
+        };
+        let slot = self.by_size.get_mut(&key).expect("victim key exists");
+        slot.remove(0);
+        self.channels -= nprocs * nprocs;
+        if slot.is_empty() {
+            self.by_size.remove(&key);
+        }
+    }
 }
 
 fn network_cache() -> &'static Mutex<NetworkCache> {
@@ -228,9 +296,13 @@ fn fresh_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
 fn acquire_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
     {
         let mut cache = lock_unpoisoned(network_cache());
-        if let Some(links) = cache.by_size.get_mut(&(nprocs, backend)).and_then(Vec::pop) {
+        if let Some(entry) = cache.by_size.get_mut(&(nprocs, backend)).and_then(Vec::pop) {
             cache.channels -= nprocs * nprocs;
-            return links;
+            let key = (nprocs, backend);
+            if cache.by_size.get(&key).is_some_and(Vec::is_empty) {
+                cache.by_size.remove(&key);
+            }
+            return entry.links;
         }
     }
     fresh_network(nprocs, backend)
@@ -238,15 +310,32 @@ fn acquire_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
 
 fn release_network(nprocs: usize, backend: Backend, links: Vec<RankLinks>) {
     let channels = nprocs * nprocs;
+    if channels > CACHE_CHANNEL_BUDGET {
+        return; // can never fit, even with an empty cache
+    }
     let mut cache = lock_unpoisoned(network_cache());
-    if cache.channels + channels > CACHE_CHANNEL_BUDGET {
-        return; // over budget: drop the network instead of retaining it
+    if cache
+        .by_size
+        .get(&(nprocs, backend))
+        .is_some_and(|slot| slot.len() >= CACHED_NETWORKS_PER_SIZE)
+    {
+        return; // per-size cap reached
     }
-    let slot = cache.by_size.entry((nprocs, backend)).or_default();
-    if slot.len() < CACHED_NETWORKS_PER_SIZE {
-        slot.push(links);
-        cache.channels += channels;
+    // Evict least-recently-released networks until the newcomer fits.
+    // Only quiescent networks are ever cached, so eviction just frees
+    // empty channels — it cannot affect what a later fresh-or-recycled
+    // acquisition observes (the bit-identical-to-fresh guarantee).
+    while cache.channels + channels > CACHE_CHANNEL_BUDGET {
+        cache.evict_stalest();
     }
+    cache.clock += 1;
+    let stamp = cache.clock;
+    cache
+        .by_size
+        .entry((nprocs, backend))
+        .or_default()
+        .push(CachedNetwork { links, stamp });
+    cache.channels += channels;
 }
 
 type RankOutcome<R> = (R, f64, RankStats, RankLinks);
@@ -621,9 +710,9 @@ where
 ///     ctx.rank()
 /// })
 /// .unwrap_err();
-/// assert_eq!(err.failures.len(), 1);
-/// assert_eq!(err.failures[0].rank, 1);
-/// assert!(err.failures[0].message.contains("boom"));
+/// assert_eq!(err.failures().len(), 1);
+/// assert_eq!(err.failures()[0].rank, 1);
+/// assert!(err.failures()[0].message.contains("boom"));
 /// ```
 pub fn try_run_spmd<F, R>(
     nprocs: usize,
@@ -634,8 +723,23 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
+    try_run_spmd_with(nprocs, model, RunConfig::virtual_time(), body)
+}
+
+/// [`try_run_spmd`] with an explicit [`RunConfig`]: contained rank
+/// failures on either backend, reported as [`SpmdError::Ranks`].
+pub fn try_run_spmd_with<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    config: RunConfig,
+    body: F,
+) -> Result<SpmdResult<R>, SpmdError>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
     let (outcomes, leaked, wall_us) =
-        run_inner_result(nprocs, model, None, body, true, Backend::Virtual);
+        run_inner_result(nprocs, model, None, body, config.pooled, config.backend);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
@@ -651,13 +755,15 @@ where
         }
     }
     if !failures.is_empty() {
-        return Err(SpmdError { failures });
+        return Err(SpmdError::Ranks { failures });
     }
-    assert_eq!(
-        leaked, 0,
-        "run finished with {leaked} unreceived message(s): \
-         mismatched send/recv in the SPMD program"
-    );
+    if config.check_leaks {
+        assert_eq!(
+            leaked, 0,
+            "run finished with {leaked} unreceived message(s): \
+             mismatched send/recv in the SPMD program"
+        );
+    }
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
     Ok(SpmdResult {
         results,
@@ -693,12 +799,53 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
+    run_spmd_ft_with(nprocs, model, plan, RunConfig::virtual_time(), body)
+        .expect("the virtual backend is always supported")
+}
+
+/// [`run_spmd_ft`] with an explicit [`RunConfig`] — and the guard that
+/// *enforces* the virtual-only contract: a config selecting
+/// [`Backend::Real`] is rejected with a typed
+/// [`SpmdError::UnsupportedBackend`] before anything runs, instead of
+/// silently executing a fault schedule whose death signal would depend
+/// on real scheduling.
+///
+/// ```
+/// use archetype_mp::{run_spmd_ft_with, FaultPlan, MachineModel, RunConfig, SpmdError};
+///
+/// let err = run_spmd_ft_with(
+///     2,
+///     MachineModel::zero_comm(),
+///     FaultPlan::new(0),
+///     RunConfig::real(),
+///     |ctx| ctx.rank(),
+/// )
+/// .unwrap_err();
+/// assert!(matches!(err, SpmdError::UnsupportedBackend { .. }));
+/// ```
+pub fn run_spmd_ft_with<F, R>(
+    nprocs: usize,
+    model: MachineModel,
+    plan: FaultPlan,
+    config: RunConfig,
+    body: F,
+) -> Result<FtSpmdResult<R>, SpmdError>
+where
+    F: Fn(&mut Ctx) -> R + Sync,
+    R: Send,
+{
+    if config.backend != Backend::Virtual {
+        return Err(SpmdError::UnsupportedBackend {
+            entry: "run_spmd_ft",
+            backend: config.backend,
+        });
+    }
     let (outcomes, leaked, _wall_us) = run_inner_result(
         nprocs,
         model,
         Some(Arc::new(plan)),
         body,
-        true,
+        config.pooled,
         Backend::Virtual,
     );
     let mut results = Vec::with_capacity(nprocs);
@@ -719,13 +866,13 @@ where
         }
     }
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
-    FtSpmdResult {
+    Ok(FtSpmdResult {
         results,
         elapsed_virtual,
         rank_times,
         stats: RunStats { per_rank },
         leaked_messages: leaked,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -816,6 +963,88 @@ mod tests {
             .get(&(N, Backend::Virtual))
             .map_or(0, Vec::len);
         assert_eq!(cached, 0, "an over-budget network must not be cached");
+    }
+
+    #[test]
+    fn mixed_size_churn_keeps_cache_occupancy_bounded() {
+        // Plan-service churn: many distinct subgroup sizes, far more
+        // total channel demand than the budget. Sizes 33..56 are unique
+        // to this test (and to the process), so the recency assertions
+        // below cannot race other tests' cache traffic.
+        const SIZES: std::ops::Range<usize> = 33..56;
+        let demand: usize = SIZES.map(|n| CACHED_NETWORKS_PER_SIZE * n * n).sum();
+        assert!(
+            demand > CACHE_CHANNEL_BUDGET,
+            "the hammer must oversubscribe the budget to exercise eviction"
+        );
+        for n in SIZES {
+            // Two clean runs per size: fills the per-size slot.
+            for _ in 0..CACHED_NETWORKS_PER_SIZE {
+                run_spmd(n, MachineModel::zero_comm(), |ctx| {
+                    ctx.all_reduce(1u64, |a, b| a + b)
+                });
+            }
+        }
+        let cache = network_cache().lock().unwrap();
+        assert!(
+            cache.channels <= CACHE_CHANNEL_BUDGET,
+            "occupancy {} exceeds the channel budget",
+            cache.channels
+        );
+        let recomputed: usize = cache
+            .by_size
+            .iter()
+            .map(|(&(n, _), slot)| n * n * slot.len())
+            .sum();
+        assert_eq!(cache.channels, recomputed, "channel accounting drifted");
+        for slot in cache.by_size.values() {
+            assert!(!slot.is_empty(), "empty slots must be pruned");
+            assert!(slot.len() <= CACHED_NETWORKS_PER_SIZE);
+        }
+        // LRU means the *latest* sizes survive and the earliest were
+        // evicted to make room for them.
+        let freshest = SIZES.end - 1;
+        assert!(
+            cache.by_size.contains_key(&(freshest, Backend::Virtual)),
+            "the most recently released size must still be cached"
+        );
+        let evicted = SIZES
+            .filter(|&n| !cache.by_size.contains_key(&(n, Backend::Virtual)))
+            .count();
+        assert!(
+            evicted > 0,
+            "oversubscribing the budget must evict some stale sizes"
+        );
+    }
+
+    #[test]
+    fn ft_runs_reject_the_real_backend_with_a_typed_error() {
+        let err = run_spmd_ft_with(
+            2,
+            MachineModel::zero_comm(),
+            FaultPlan::new(7),
+            RunConfig::real(),
+            |ctx| ctx.rank(),
+        )
+        .unwrap_err();
+        match err {
+            SpmdError::UnsupportedBackend { entry, backend } => {
+                assert_eq!(entry, "run_spmd_ft");
+                assert_eq!(backend, Backend::Real);
+                assert!(err.failures().is_empty());
+            }
+            other => panic!("expected UnsupportedBackend, got {other:?}"),
+        }
+        // The virtual path through the same entry point still works.
+        let ok = run_spmd_ft_with(
+            2,
+            MachineModel::zero_comm(),
+            FaultPlan::new(7),
+            RunConfig::virtual_time(),
+            |ctx| ctx.rank(),
+        )
+        .expect("virtual backend is supported");
+        assert!(ok.all_ok());
     }
 
     #[test]

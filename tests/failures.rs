@@ -3,10 +3,53 @@
 //! entry point), must quarantine the dirty network rather than recycling
 //! it, and must leave the thread pool fully usable for later runs.
 
-use parallel_archetypes::mp::{run_spmd, try_run_spmd, MachineModel};
+use parallel_archetypes::mp::{
+    run_spmd, run_spmd_ft_with, try_run_spmd, Backend, FaultPlan, MachineModel, RunConfig,
+    SpmdError,
+};
 
 mod common;
 use common::assert_bit_identical_runs;
+
+/// Fault injection is virtual-backend-only, and that contract is now
+/// *enforced*: a `RunConfig` selecting `Backend::Real` is rejected with
+/// a typed error before anything runs — not silently executed, not a
+/// panic.
+#[test]
+fn fault_injection_on_the_real_backend_is_a_typed_error() {
+    let err = run_spmd_ft_with(
+        3,
+        MachineModel::ibm_sp(),
+        FaultPlan::new(0),
+        RunConfig::real(),
+        |ctx| ctx.rank(),
+    )
+    .expect_err("the real backend must be rejected");
+    assert!(
+        matches!(
+            err,
+            SpmdError::UnsupportedBackend {
+                entry: "run_spmd_ft",
+                backend: Backend::Real,
+            }
+        ),
+        "expected UnsupportedBackend, got {err:?}"
+    );
+    assert!(err.failures().is_empty(), "no rank ever ran");
+    assert!(err.to_string().contains("run_spmd_ft"));
+
+    // The identical call on the virtual backend succeeds — the guard
+    // rejects the backend, not the entry point.
+    let ok = run_spmd_ft_with(
+        3,
+        MachineModel::ibm_sp(),
+        FaultPlan::new(0),
+        RunConfig::virtual_time(),
+        |ctx| ctx.rank(),
+    )
+    .expect("virtual fault runs are supported");
+    assert!(ok.all_ok());
+}
 
 #[test]
 fn a_rank_panic_surfaces_as_a_structured_error() {
@@ -17,10 +60,10 @@ fn a_rank_panic_surfaces_as_a_structured_error() {
         ctx.rank()
     })
     .expect_err("rank 2 panicked");
-    assert_eq!(err.failures.len(), 1);
-    assert_eq!(err.failures[0].rank, 2);
-    assert!(err.failures[0].message.contains("rank 2 gives up"));
-    assert!(!err.failures[0].injected);
+    assert_eq!(err.failures().len(), 1);
+    assert_eq!(err.failures()[0].rank, 2);
+    assert!(err.failures()[0].message.contains("rank 2 gives up"));
+    assert!(!err.failures()[0].injected);
 }
 
 #[test]
@@ -31,7 +74,7 @@ fn every_failed_rank_is_reported_in_rank_order() {
         }
     })
     .expect_err("two ranks panicked");
-    let ranks: Vec<usize> = err.failures.iter().map(|f| f.rank).collect();
+    let ranks: Vec<usize> = err.failures().iter().map(|f| f.rank).collect();
     assert_eq!(ranks, vec![1, 3]);
 }
 
@@ -69,10 +112,10 @@ fn the_pool_survives_a_failure_and_the_dirty_network_is_quarantined() {
     // (blocked receiving from the dead rank, or sending into its closed
     // mailbox), so accept both secondary shapes.
     assert!(err
-        .failures
+        .failures()
         .iter()
         .any(|f| f.rank == 1 && f.message.contains("dies before receiving")));
-    assert!(err.failures.iter().all(|f| f.rank == 1
+    assert!(err.failures().iter().all(|f| f.rank == 1
         || f.message.contains("was pending")
         || f.message.contains("mailbox closed")));
 
@@ -101,7 +144,9 @@ fn failures_in_consecutive_runs_stay_independent() {
             }
         })
         .expect_err("rank 1 panics each round");
-        assert_eq!(err.failures.len(), 1);
-        assert!(err.failures[0].message.contains(&format!("round {round}")));
+        assert_eq!(err.failures().len(), 1);
+        assert!(err.failures()[0]
+            .message
+            .contains(&format!("round {round}")));
     }
 }

@@ -1,0 +1,177 @@
+//! Property-based tests of the **plan service**: for random plan mixes,
+//! tenants, process counts, and admission widths, the wave packer must
+//! partition the world exactly (no oversubscription, no idle ranks, FIFO
+//! order preserved), per-tenant accounting must be schedule-invariant,
+//! and same-seed service runs must be bit-identical on the virtual
+//! backend.
+
+mod common;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use parallel_archetypes::compose::{
+    pack_waves, ArchetypeJob, Plan, PlanService, ServeConfig, Value,
+};
+use parallel_archetypes::core::archetype::ONE_DEEP_DC;
+use parallel_archetypes::core::{ArchetypeInfo, PhaseTrace};
+use parallel_archetypes::mp::{Ctx, MachineModel, RunConfig};
+
+// ---------------------------------------------------------------------------
+// Pure packer invariants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pack_waves_partitions_the_world_exactly_in_fifo_order(
+        costs in vec(0.0f64..1e6, 1..30),
+        p in 1usize..9,
+        max_concurrent in 0usize..9,
+    ) {
+        let waves = pack_waves(&costs, p, max_concurrent);
+        let per_wave = max_concurrent.max(1).min(p);
+
+        let mut order: Vec<usize> = Vec::new();
+        for w in &waves {
+            // Admission can never oversubscribe: at most
+            // min(max_concurrent, p) plans, each with >= 1 rank, and the
+            // wave's shares cover the world exactly.
+            prop_assert!(w.plans.len() <= per_wave);
+            prop_assert_eq!(w.plans.len(), w.sizes.len());
+            prop_assert_eq!(w.plans.len(), w.starts.len());
+            prop_assert_eq!(w.sizes.iter().sum::<usize>(), p);
+            prop_assert!(w.sizes.iter().all(|&s| s >= 1));
+
+            // Subgroups are contiguous and disjoint: each starts where
+            // the previous ends, beginning at rank 0.
+            prop_assert_eq!(w.starts[0], 0);
+            for j in 1..w.plans.len() {
+                prop_assert_eq!(w.starts[j], w.starts[j - 1] + w.sizes[j - 1]);
+            }
+            order.extend_from_slice(&w.plans);
+        }
+
+        // Every queued plan is scheduled exactly once, in admission order.
+        prop_assert_eq!(order, (0..costs.len()).collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service runs, observed through a cheap deterministic atom.
+// ---------------------------------------------------------------------------
+
+/// A self-contained atom: folds any input value to a scalar and nudges
+/// it by its weight, so arbitrary mixes type-check from a `Unit` root.
+struct Fold {
+    weight: f64,
+}
+
+fn fold_value(v: &Value) -> f64 {
+    match v {
+        Value::Unit => 1.0,
+        Value::U64(x) => *x as f64,
+        Value::F64(x) => *x,
+        Value::I64s(xs) => xs.iter().map(|&x| x as f64).sum(),
+        Value::F64s(xs) => xs.iter().sum(),
+        Value::Tuple(parts) => parts.iter().map(fold_value).sum(),
+    }
+}
+
+impl ArchetypeJob for Fold {
+    type In = Value;
+    type Out = Value;
+
+    fn name(&self) -> &'static str {
+        "fold"
+    }
+
+    fn info(&self) -> &'static ArchetypeInfo {
+        &ONE_DEEP_DC
+    }
+
+    fn estimate_flops(&self, _input: &Value) -> f64 {
+        self.weight
+    }
+
+    fn run(&self, _ctx: &mut Ctx, input: Value, _trace: Option<&PhaseTrace>) -> Value {
+        Value::F64(fold_value(&input) * 1.5 + self.weight)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.weight.to_bits()
+    }
+}
+
+/// One generated submission: `(shape selector, weight, tenant)`.
+type Mix = Vec<(u8, u32, u32)>;
+
+/// Build the plan a generated submission describes: a single atom, a
+/// two-stage sequence, or a two-branch `Par` feeding a merge atom.
+fn mix_plan(shape: u8, weight: u32) -> Plan {
+    let w = f64::from(weight);
+    match shape % 3 {
+        0 => Plan::atom(Fold { weight: w }),
+        1 => Plan::atom(Fold { weight: w }).then(Plan::atom(Fold { weight: w + 1.0 })),
+        _ => Plan::atom(Fold { weight: w })
+            .alongside(Plan::atom(Fold { weight: w * 2.0 }))
+            .then(Plan::atom(Fold { weight: 1.0 })),
+    }
+}
+
+/// A fresh service holding the generated batch.
+fn service(mix: &Mix, p: usize, max_concurrent: usize) -> PlanService {
+    let mut svc = PlanService::new(
+        p,
+        ServeConfig {
+            max_concurrent,
+            ..ServeConfig::default()
+        },
+    );
+    for &(shape, weight, tenant) in mix {
+        svc.submit(tenant, mix_plan(shape, 1 + weight % 999), Value::Unit)
+            .expect("batch fits the default queue capacity");
+    }
+    svc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tenant_stats_and_outcomes_are_schedule_invariant(
+        mix in vec((0u8..3, 0u32..999, 0u32..4), 1..12),
+        p in 2usize..9,
+        max_concurrent in 2usize..9,
+    ) {
+        let serial = service(&mix, p, 1).serve(MachineModel::ibm_sp());
+        let packed = service(&mix, p, max_concurrent).serve(MachineModel::ibm_sp());
+
+        // Serial runs one plan per wave on the full world; the packed
+        // schedule must not change what was computed or the accounting.
+        prop_assert_eq!(serial.report.waves, mix.len() as u64);
+        prop_assert_eq!(&serial.report.outcomes, &packed.report.outcomes);
+        prop_assert_eq!(&serial.report.tenants, &packed.report.tenants);
+
+        // Every submission completed and landed with its tenant.
+        prop_assert!(packed.report.outcomes.iter().all(|o| o.is_ok()));
+        let submitted: u64 = packed.report.tenants.iter().map(|(_, s)| s.submitted).sum();
+        prop_assert_eq!(submitted, mix.len() as u64);
+    }
+
+    #[test]
+    fn same_seed_service_runs_are_bit_identical(
+        mix in vec((0u8..3, 0u32..999, 0u32..4), 1..10),
+        p in 2usize..9,
+        max_concurrent in 1usize..6,
+    ) {
+        // The workspace determinism snapshot over the raw SPMD entry
+        // point: per-rank reports, per-rank clocks, and the elapsed
+        // virtual time must all be bit-identical across runs.
+        common::assert_bit_identical_runs("plan service", || {
+            service(&mix, p, max_concurrent)
+                .serve_spmd(MachineModel::cray_t3d(), RunConfig::virtual_time())
+        });
+    }
+}
