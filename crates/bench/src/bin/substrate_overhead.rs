@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use archetype_mp::transport::{real_channel, spsc_channel};
 use archetype_mp::{
     run_spmd, run_spmd_ft, run_spmd_real, run_spmd_unpooled, Ctx, FaultPlan, MachineModel,
 };
@@ -175,6 +176,67 @@ fn main() {
         });
     });
 
+    // Raw channel throughput at one-million-message volume, for both
+    // queue flavors the real backend uses: the MPSC queue (many
+    // producers racing the Vyukov publish protocol) and the SPSC fast
+    // path that mesh links and pool worker channels ride (single
+    // producer, node freelist in steady state). msgs/sec, median of 3.
+    const TOTAL_MSGS: usize = 1_000_000;
+    const PRODUCERS: usize = 4;
+    let mpsc_msgs_per_sec = {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let (tx, rx) = real_channel::<u64>();
+                let t0 = Instant::now();
+                let handles: Vec<_> = (0..PRODUCERS)
+                    .map(|p| {
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            for i in 0..TOTAL_MSGS / PRODUCERS {
+                                tx.send((p * TOTAL_MSGS + i) as u64).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                drop(tx);
+                let mut received = 0usize;
+                while rx.recv().is_ok() {
+                    received += 1;
+                }
+                let elapsed = t0.elapsed().as_secs_f64();
+                assert_eq!(received, TOTAL_MSGS);
+                for h in handles {
+                    h.join().unwrap();
+                }
+                TOTAL_MSGS as f64 / elapsed
+            })
+            .collect();
+        median(&mut samples)
+    };
+    let spsc_msgs_per_sec = {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let (tx, rx) = spsc_channel::<u64>();
+                let t0 = Instant::now();
+                let producer = std::thread::spawn(move || {
+                    for i in 0..TOTAL_MSGS {
+                        // SAFETY: this thread is the only pusher.
+                        unsafe { tx.send(i as u64).unwrap() };
+                    }
+                });
+                let mut received = 0usize;
+                while rx.recv().is_ok() {
+                    received += 1;
+                }
+                let elapsed = t0.elapsed().as_secs_f64();
+                assert_eq!(received, TOTAL_MSGS);
+                producer.join().unwrap();
+                TOTAL_MSGS as f64 / elapsed
+            })
+            .collect();
+        median(&mut samples)
+    };
+
     let json = format!(
         r#"{{
   "bench": "substrate_overhead",
@@ -198,6 +260,11 @@ fn main() {
     "repeated_run_spmd_real_wall_us_per_call": {real_dispatch_us:.2},
     "ping_pong_8b_wall_us_per_roundtrip": {real_pp8:.3},
     "broadcast_1mb_16_wall_us_per_call": {real_bcast_us:.1}
+  }},
+  "throughput": {{
+    "volume_msgs": {TOTAL_MSGS},
+    "mpsc_4_producer_msgs_per_sec": {mpsc_msgs_per_sec:.0},
+    "spsc_msgs_per_sec": {spsc_msgs_per_sec:.0}
   }}
 }}
 "#
@@ -226,6 +293,29 @@ fn main() {
         let msg = format!(
             "idle fault hooks should cost < 2% on the 8-byte ping-pong \
              (got {ft_overhead_pct:.1}%)"
+        );
+        assert!(!strict, "{msg}");
+        eprintln!("WARNING: {msg}");
+    }
+    // Throughput floors: set well below healthy numbers (observed
+    // ~12M/s MPSC and ~2.5M/s SPSC even on a single-core runner, where
+    // every queue handoff pays a context switch) so they only trip on a
+    // real regression — e.g. the SPSC fast path silently falling back
+    // to a lock on every send — not on runner jitter.
+    const MPSC_FLOOR: f64 = 2.0e6;
+    const SPSC_FLOOR: f64 = 0.5e6;
+    if mpsc_msgs_per_sec < MPSC_FLOOR {
+        let msg = format!(
+            "MPSC throughput fell below {MPSC_FLOOR:.0} msgs/sec \
+             (got {mpsc_msgs_per_sec:.0})"
+        );
+        assert!(!strict, "{msg}");
+        eprintln!("WARNING: {msg}");
+    }
+    if spsc_msgs_per_sec < SPSC_FLOOR {
+        let msg = format!(
+            "SPSC throughput fell below {SPSC_FLOOR:.0} msgs/sec \
+             (got {spsc_msgs_per_sec:.0})"
         );
         assert!(!strict, "{msg}");
         eprintln!("WARNING: {msg}");

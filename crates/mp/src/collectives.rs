@@ -79,15 +79,24 @@ impl Ctx {
             mask <<= 1;
         }
         // Send phase: forward to children below the bit where we received.
+        // This is a pure fan-out (no receives interleave with it), so the
+        // sends publish quietly and one finish_fanout pays a single
+        // publication fence plus one wake check per child, instead of a
+        // full fence/wake handshake per message. Clock and stats
+        // accounting are identical to plain sends, keeping results
+        // bit-identical.
         mask >>= 1;
         let v = val.expect("broadcast value must be set by receive phase");
+        let mut children = Vec::new();
         while mask > 0 {
             if relative + mask < n {
                 let dst = (relative + mask + root) % n;
-                self.send_shared(dst, base, &v);
+                self.send_shared_quiet(dst, base, &v);
+                children.push(dst);
             }
             mask >>= 1;
         }
+        self.finish_fanout(children.into_iter());
         v
     }
 
@@ -159,14 +168,17 @@ impl Ctx {
         if self.rank() == root {
             let values = values.expect("scatter root must supply values");
             assert_eq!(values.len(), n, "scatter needs one value per rank");
+            // Pure fan-out: quiet sends + one batched wake round (see
+            // broadcast_shared's send phase).
             let mut own = None;
             for (r, v) in values.into_iter().enumerate() {
                 if r == root {
                     own = Some(v);
                 } else {
-                    self.send(r, base, v);
+                    self.send_quiet(r, base, v);
                 }
             }
+            self.finish_fanout((0..n).filter(|&r| r != root));
             own.expect("root keeps its own piece")
         } else {
             self.recv(root, base)

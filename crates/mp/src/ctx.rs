@@ -7,9 +7,9 @@ use crate::fault::{CrashSite, FaultPlan, InjectedCrash, RankDead};
 use crate::mailbox::Mailbox;
 use crate::model::MachineModel;
 use crate::packet::{Packet, PacketBody};
-use crate::payload::{Payload, Shared};
+use crate::payload::{Payload, PayloadArena, Shared};
 use crate::stats::RankStats;
-use crate::transport::PacketSender;
+use crate::transport::{publish_fence, PacketSender};
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
 pub type Tag = u64;
@@ -34,6 +34,12 @@ pub struct Ctx {
     /// results are bit-identical across backends.
     senders: Vec<PacketSender>,
     mailbox: Mailbox,
+    /// This rank's payload-box freelist: `send` allocates from it,
+    /// `recv` returns emptied blocks to it, and it travels with the
+    /// mailbox through the network-recycle cache so steady-state
+    /// messaging allocates nothing (see
+    /// [`PayloadArena`](crate::payload::PayloadArena)'s ownership rules).
+    arena: PayloadArena,
     model: MachineModel,
     clock: f64,
     stats: RankStats,
@@ -75,6 +81,7 @@ impl Ctx {
         nprocs: usize,
         senders: Vec<PacketSender>,
         mailbox: Mailbox,
+        arena: PayloadArena,
         model: MachineModel,
     ) -> Self {
         Ctx {
@@ -82,6 +89,7 @@ impl Ctx {
             nprocs,
             senders,
             mailbox,
+            arena,
             model,
             clock: 0.0,
             stats: RankStats::default(),
@@ -204,6 +212,22 @@ impl Ctx {
         bytes: usize,
         body: PacketBody,
     ) -> Result<(), RankDead> {
+        self.try_send_packet_inner(to, tag, bytes, body, false)
+    }
+
+    /// Shared implementation of the loud and quiet send paths. `quiet`
+    /// publishes without the per-message fence/wake handshake — the
+    /// fan-out collectives' batching hook (see [`Ctx::finish_fanout`]);
+    /// all clock/stats accounting is identical either way, which is what
+    /// keeps batched fan-outs bit-identical to per-message sends.
+    fn try_send_packet_inner(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        bytes: usize,
+        body: PacketBody,
+        quiet: bool,
+    ) -> Result<(), RankDead> {
         assert!(to < self.nprocs, "send to rank {to} out of range");
         let mut arrival_time = self.clock + self.model.wire_time(bytes);
         if self.fault_hot {
@@ -214,16 +238,56 @@ impl Ctx {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         let dest = self.peers[to];
-        self.senders[to]
-            .send(Packet {
-                from: self.rank,
-                scope: self.scope,
-                tag,
-                bytes,
-                arrival_time,
-                body,
-            })
-            .map_err(|_| RankDead { rank: dest })
+        let pkt = Packet {
+            from: self.rank,
+            scope: self.scope,
+            tag,
+            bytes,
+            arrival_time,
+            body,
+        };
+        let sent = if quiet {
+            self.senders[to].send_publish(pkt)
+        } else {
+            self.senders[to].send(pkt)
+        };
+        sent.map_err(|_| RankDead { rank: dest })
+    }
+
+    /// Quiet variant of [`Ctx::send`] for fan-out loops: publishes the
+    /// message without the per-message wake handshake. The caller must
+    /// invoke [`Ctx::finish_fanout`] over the same destinations before
+    /// blocking on anything.
+    pub(crate) fn send_quiet<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
+        let bytes = value.size_bytes();
+        let body = PacketBody::Owned(self.arena.alloc_box(value));
+        self.try_send_packet_inner(to, tag, bytes, body, true)
+            .expect("receiving rank's mailbox closed (rank panicked?)");
+    }
+
+    /// Quiet variant of [`Ctx::send_shared`] (see [`Ctx::send_quiet`]).
+    pub(crate) fn send_shared_quiet<T: Payload + Sync>(
+        &mut self,
+        to: usize,
+        tag: Tag,
+        value: &Shared<T>,
+    ) {
+        let bytes = value.size_bytes();
+        let arc = std::sync::Arc::clone(value.as_arc());
+        self.try_send_packet_inner(to, tag, bytes, PacketBody::Shared(arc), true)
+            .expect("receiving rank's mailbox closed (rank panicked?)");
+    }
+
+    /// Complete a batch of quiet sends: one publication fence for the
+    /// whole fan-out, then one parked-flag check per destination. A
+    /// fan-out of k messages thus pays 1 fence + k flag reads instead of
+    /// k fences + k flag reads — and on the virtual backend this is a
+    /// no-op (its channel wakes on send).
+    pub(crate) fn finish_fanout(&mut self, dests: impl Iterator<Item = usize>) {
+        publish_fence();
+        for to in dests {
+            self.senders[to].wake();
+        }
     }
 
     /// Fault hooks on the send path: count the operation, fire a
@@ -373,7 +437,8 @@ impl Ctx {
     /// ```
     pub fn send<T: Payload>(&mut self, to: usize, tag: Tag, value: T) {
         let bytes = value.size_bytes();
-        self.send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value)));
+        let body = PacketBody::Owned(self.arena.alloc_box(value));
+        self.send_packet(to, tag, bytes, body);
     }
 
     /// Send the payload behind `value` to rank `to` without copying it:
@@ -400,7 +465,10 @@ impl Ctx {
         let pkt = self.recv_packet(from, tag);
         match pkt.body {
             PacketBody::Owned(b) => match b.downcast::<T>() {
-                Ok(v) => *v,
+                // Moving the value out hands the emptied box to this
+                // rank's arena — the "freelists returned on recv" half
+                // of the allocation-free steady state.
+                Ok(v) => self.arena.reclaim(v),
                 Err(_) => self.type_mismatch::<T>(from, tag),
             },
             PacketBody::Shared(_) => panic!(
@@ -422,7 +490,7 @@ impl Ctx {
                 Err(_) => self.type_mismatch::<T>(from, tag),
             },
             PacketBody::Owned(b) => match b.downcast::<T>() {
-                Ok(v) => Shared::new(*v),
+                Ok(v) => Shared::new(self.arena.reclaim(v)),
                 Err(_) => self.type_mismatch::<T>(from, tag),
             },
         }
@@ -480,11 +548,13 @@ impl Ctx {
         // leak into the sender's clock and operation counters.
         let first = if dup {
             self.stats.fault_events += 1;
-            self.try_send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value.clone())))
+            let body = PacketBody::Owned(self.arena.alloc_box(value.clone()));
+            self.try_send_packet(to, tag, bytes, body)
         } else {
             Ok(())
         };
-        let second = self.try_send_packet(to, tag, bytes, PacketBody::Owned(Box::new(value)));
+        let body = PacketBody::Owned(self.arena.alloc_box(value));
+        let second = self.try_send_packet(to, tag, bytes, body);
         first.and(second)
     }
 
@@ -508,7 +578,7 @@ impl Ctx {
         }
         match pkt.body {
             PacketBody::Owned(b) => match b.downcast::<T>() {
-                Ok(v) => Ok(*v),
+                Ok(v) => Ok(self.arena.reclaim(v)),
                 Err(_) => self.type_mismatch::<T>(from, tag),
             },
             PacketBody::Shared(_) => panic!(
@@ -624,10 +694,11 @@ impl Ctx {
         out
     }
 
-    /// Dismantle the context, returning its channel endpoints so the
-    /// runner can recycle the network for the next `run_spmd` call.
-    pub(crate) fn into_parts(self) -> (Vec<PacketSender>, Mailbox) {
-        (self.senders, self.mailbox)
+    /// Dismantle the context, returning its channel endpoints and payload
+    /// arena so the runner can recycle the network for the next
+    /// `run_spmd` call.
+    pub(crate) fn into_parts(self) -> (Vec<PacketSender>, Mailbox, PayloadArena) {
+        (self.senders, self.mailbox, self.arena)
     }
 
     /// Reserve a fresh tag namespace for a user-level communication phase

@@ -32,9 +32,11 @@
 //! meaningful at quiescence or after a sender provably terminated.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::packet::Packet;
-use crate::transport::{packet_channel, Backend, PacketReceiver, PacketSender};
+use crate::transport::{packet_channel_with, Backend, PacketReceiver, PacketSender};
 
 /// Error returned by [`Mailbox::try_recv_matching`] when the sending
 /// rank has terminated (channel empty and disconnected).
@@ -48,6 +50,14 @@ pub struct SenderDisconnected;
 pub struct Mailbox {
     from: Vec<PacketReceiver>,
     pending: Vec<HashMap<(u64, u64), VecDeque<Packet>>>,
+    /// Messages put on the wire to this mailbox but not yet pulled off a
+    /// channel. One cell shared by all of this mailbox's channels (see
+    /// [`build_network`]): senders increment it, channel pops decrement
+    /// it, making the whole-mailbox in-flight count a single load.
+    inflight: Arc<AtomicUsize>,
+    /// Messages sitting in `pending` buckets, maintained incrementally so
+    /// [`Mailbox::unconsumed`] never walks the n maps.
+    pending_len: usize,
 }
 
 impl Mailbox {
@@ -90,6 +100,7 @@ impl Mailbox {
                 if q.is_empty() {
                     self.pending[sender].remove(&(scope, tag));
                 }
+                self.pending_len -= 1;
                 return Ok(pkt);
             }
         }
@@ -102,18 +113,19 @@ impl Mailbox {
                 .entry((pkt.scope, pkt.tag))
                 .or_default()
                 .push_back(pkt);
+            self.pending_len += 1;
         }
     }
 
-    /// Number of buffered (received but unmatched) messages; used by the
-    /// runner to detect messages that were sent but never received.
+    /// Number of unmatched messages addressed to this rank — buffered in
+    /// `pending` or still in flight on a channel. O(1): one counter plus
+    /// one shared-cell load, regardless of rank count, which is what
+    /// keeps the post-run leak check out of the `run_spmd` hot path
+    /// (it used to walk n pending maps and n channel lengths per rank —
+    /// n² loads per run). Exact only at quiescence, like every use of
+    /// the leak check (see the ordering contract above).
     pub fn unconsumed(&self) -> usize {
-        self.pending
-            .iter()
-            .flat_map(HashMap::values)
-            .map(VecDeque::len)
-            .sum::<usize>()
-            + self.from.iter().map(PacketReceiver::len).sum::<usize>()
+        self.pending_len + self.inflight.load(Ordering::Acquire)
     }
 }
 
@@ -127,8 +139,11 @@ pub fn build_network(n: usize, backend: Backend) -> (Vec<Vec<PacketSender>>, Vec
     for _dest in 0..n {
         let mut row_tx = Vec::with_capacity(n);
         let mut row_rx = Vec::with_capacity(n);
+        // All of one destination's channels share one in-flight counter,
+        // so the mailbox's leak check is a single load (`unconsumed`).
+        let inflight = Arc::new(AtomicUsize::new(0));
         for _src in 0..n {
-            let (tx, rx) = packet_channel(backend);
+            let (tx, rx) = packet_channel_with(backend, Arc::clone(&inflight));
             row_tx.push(tx);
             row_rx.push(rx);
         }
@@ -136,6 +151,8 @@ pub fn build_network(n: usize, backend: Backend) -> (Vec<Vec<PacketSender>>, Vec
         mailboxes.push(Mailbox {
             from: row_rx,
             pending: (0..n).map(|_| HashMap::new()).collect(),
+            inflight,
+            pending_len: 0,
         });
     }
     (senders, mailboxes)

@@ -16,6 +16,9 @@
 //! Application crates implement [`FixedSize`] for their own POD structs with
 //! the [`impl_fixed_size!`](crate::impl_fixed_size) macro.
 
+use std::alloc::{dealloc, Layout};
+use std::collections::HashMap;
+use std::ptr;
 use std::sync::Arc;
 
 /// Marker for plain-old-data message elements: `Copy` types with no heap
@@ -188,6 +191,137 @@ impl<T: Payload + Sync> Payload for Shared<T> {
     }
 }
 
+/// Most bytes one arena retains across all size classes; reclaims past
+/// the cap free the block instead. 1 MiB per rank bounds what an idle
+/// cached network pins while covering the archetypes' payload mix.
+const ARENA_MAX_HELD_BYTES: usize = 1 << 20;
+
+/// Most free blocks retained per (size, align) class.
+const ARENA_MAX_BLOCKS_PER_CLASS: usize = 128;
+
+/// Per-rank recycling arena for the substrate's per-message payload box
+/// (`PacketBody::Owned(Box<dyn Any>)`).
+///
+/// Each rank owns one arena, threaded through [`crate::Ctx`] and parked
+/// in the `(nprocs, Backend)` network-recycle cache between runs.
+/// `Ctx::send` allocates the payload box from the *sender's* arena;
+/// `Ctx::recv` moves the value out and returns the emptied block to the
+/// *receiver's* arena. Blocks therefore migrate between ranks with the
+/// traffic — which is exactly right: under bidirectional steady-state
+/// traffic every rank's freelist is replenished by what it receives, and
+/// a one-directional stream is bounded by the receiver's retention caps.
+///
+/// # Ownership and soundness rules
+/// * Freelists are keyed by the **exact** `(size, align)` pair of the
+///   allocation, so a recycled block is only ever reused for a type with
+///   the identical [`Layout`] — `Box::from_raw` on such a block is sound
+///   because the global allocator only cares that pointer and layout
+///   match the original allocation.
+/// * Zero-sized types bypass the arena entirely (`Box::new` on a ZST
+///   does not allocate).
+/// * A block enters the freelist only *after* its value has been moved
+///   out (`ptr::read`), so the arena never owns live values — dropping
+///   the arena deallocates raw memory, never runs payload destructors.
+/// * The arena is deliberately **not** `Sync`: it is owned by one rank
+///   at a time and handed between threads (run → cache → next run) by
+///   value, so no operation ever synchronizes.
+pub(crate) struct PayloadArena {
+    /// Free blocks, keyed by exact (size, align).
+    classes: HashMap<(usize, usize), Vec<*mut u8>>,
+    /// Total bytes across all retained blocks.
+    held_bytes: usize,
+}
+
+// SAFETY: the raw pointers are uniquely-owned free blocks (no aliasing,
+// no live values); moving them to another thread is moving ownership of
+// plain memory.
+unsafe impl Send for PayloadArena {}
+
+impl PayloadArena {
+    /// An empty arena (no blocks retained).
+    pub(crate) fn new() -> Self {
+        PayloadArena {
+            classes: HashMap::new(),
+            held_bytes: 0,
+        }
+    }
+
+    /// Box `value`, reusing a recycled block of the identical layout
+    /// when one is available.
+    pub(crate) fn alloc_box<T: Send + 'static>(&mut self, value: T) -> Box<T> {
+        let layout = Layout::new::<T>();
+        if layout.size() == 0 {
+            return Box::new(value);
+        }
+        if let Some(block) = self
+            .classes
+            .get_mut(&(layout.size(), layout.align()))
+            .and_then(Vec::pop)
+        {
+            self.held_bytes -= layout.size();
+            let p = block as *mut T;
+            // SAFETY: `block` was allocated by the global allocator with
+            // exactly this layout (class key), is unaliased, and holds
+            // no live value; writing then re-boxing transfers ownership
+            // back to `Box`.
+            unsafe {
+                ptr::write(p, value);
+                return Box::from_raw(p);
+            }
+        }
+        Box::new(value)
+    }
+
+    /// Move the value out of `boxed` and retain its block for reuse
+    /// (or free it when past the retention caps).
+    pub(crate) fn reclaim<T>(&mut self, boxed: Box<T>) -> T {
+        let layout = Layout::new::<T>();
+        if layout.size() == 0 {
+            return *boxed;
+        }
+        let p = Box::into_raw(boxed);
+        // SAFETY: `p` came from `Box::into_raw`, so it is valid for
+        // reads of `T` and we own the allocation; after this read the
+        // block holds no live value.
+        let value = unsafe { ptr::read(p) };
+        let class = self
+            .classes
+            .entry((layout.size(), layout.align()))
+            .or_default();
+        if class.len() >= ARENA_MAX_BLOCKS_PER_CLASS
+            || self.held_bytes + layout.size() > ARENA_MAX_HELD_BYTES
+        {
+            // SAFETY: allocated by the global allocator with `layout`.
+            unsafe { dealloc(p.cast(), layout) };
+        } else {
+            self.held_bytes += layout.size();
+            class.push(p.cast());
+        }
+        value
+    }
+
+    /// Bytes currently retained (tests/diagnostics).
+    #[cfg(test)]
+    fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+}
+
+impl Drop for PayloadArena {
+    fn drop(&mut self) {
+        for (&(size, align), blocks) in &self.classes {
+            let layout =
+                Layout::from_size_align(size, align).expect("class keys come from valid layouts");
+            for &p in blocks {
+                // SAFETY: every retained block was allocated by the
+                // global allocator with this class's layout and holds no
+                // live value (see `reclaim`).
+                unsafe { dealloc(p, layout) };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +383,63 @@ mod tests {
         let b = a.clone();
         assert_eq!(a.into_inner(), vec![7; 4]);
         assert_eq!(*b.get(), vec![7; 4]);
+    }
+
+    #[test]
+    fn arena_reuses_blocks_of_identical_layout() {
+        let mut arena = PayloadArena::new();
+        let b = arena.alloc_box(41u64);
+        let addr = &*b as *const u64 as usize;
+        assert_eq!(arena.reclaim(b), 41);
+        assert_eq!(arena.held_bytes(), 8);
+        // Same layout → the recycled block comes straight back.
+        let b2 = arena.alloc_box(42u64);
+        assert_eq!(&*b2 as *const u64 as usize, addr);
+        assert_eq!(*b2, 42);
+        assert_eq!(arena.held_bytes(), 0);
+        // A different layout must NOT reuse it.
+        assert_eq!(arena.reclaim(b2), 42);
+        let b3 = arena.alloc_box([0u8; 3]);
+        assert_ne!(&*b3 as *const [u8; 3] as usize, addr);
+    }
+
+    #[test]
+    fn arena_moves_values_intact_and_runs_no_destructors() {
+        let probe = Arc::new(0u8);
+        let mut arena = PayloadArena::new();
+        let boxed = arena.alloc_box(vec![Arc::clone(&probe); 3]);
+        let back = arena.reclaim(boxed);
+        assert_eq!(back.len(), 3);
+        assert_eq!(Arc::strong_count(&probe), 4, "no clone was dropped");
+        drop(back);
+        drop(arena); // frees raw blocks only; the probe is untouched
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn arena_bypasses_zero_sized_types() {
+        let mut arena = PayloadArena::new();
+        let b = arena.alloc_box(());
+        arena.reclaim(b);
+        assert_eq!(arena.held_bytes(), 0);
+    }
+
+    #[test]
+    fn arena_retention_is_capped() {
+        let mut arena = PayloadArena::new();
+        // Per-class block cap.
+        let boxes: Vec<_> = (0..2 * ARENA_MAX_BLOCKS_PER_CLASS)
+            .map(|i| arena.alloc_box(i as u64))
+            .collect();
+        for b in boxes {
+            arena.reclaim(b);
+        }
+        assert_eq!(arena.held_bytes(), 8 * ARENA_MAX_BLOCKS_PER_CLASS);
+        // Global byte cap: big blocks stop being retained past 1 MiB.
+        let big: Vec<_> = (0..20).map(|_| arena.alloc_box([0u64; 1 << 14])).collect();
+        for b in big {
+            arena.reclaim(b);
+        }
+        assert!(arena.held_bytes() <= ARENA_MAX_HELD_BYTES);
     }
 }

@@ -37,6 +37,7 @@ use crate::ctx::Ctx;
 use crate::fault::{FaultPlan, InjectedCrash};
 use crate::mailbox::{build_network, Mailbox};
 use crate::model::MachineModel;
+use crate::payload::PayloadArena;
 use crate::pool;
 use crate::stats::{RankStats, RunStats};
 use crate::transport::{Backend, PacketSender};
@@ -204,12 +205,14 @@ impl<R> FtSpmdResult<R> {
     }
 }
 
-/// One rank's endpoints: the send sides of its outgoing channels and its
-/// mailbox. Owned by the rank's `Ctx` while running; returned afterwards
-/// so a clean network can be recycled.
+/// One rank's endpoints: the send sides of its outgoing channels, its
+/// mailbox, and its payload-box arena. Owned by the rank's `Ctx` while
+/// running; returned afterwards so a clean network — warm freelists
+/// included — can be recycled.
 struct RankLinks {
     senders: Vec<PacketSender>,
     mailbox: Mailbox,
+    arena: PayloadArena,
 }
 
 /// Per-(size, backend) cache of quiescent networks. Only networks whose
@@ -289,6 +292,7 @@ fn fresh_network(nprocs: usize, backend: Backend) -> Vec<RankLinks> {
                 .map(|dest| senders_by_dest[dest][src].clone())
                 .collect(),
             mailbox,
+            arena: PayloadArena::new(),
         })
         .collect()
 }
@@ -411,15 +415,31 @@ where
     let fault = &fault;
     let run_rank = |rank: usize, links: RankLinks| -> JobResult<R> {
         catch_unwind(AssertUnwindSafe(|| {
-            let mut ctx = Ctx::new(rank, nprocs, links.senders, links.mailbox, model);
+            let mut ctx = Ctx::new(
+                rank,
+                nprocs,
+                links.senders,
+                links.mailbox,
+                links.arena,
+                model,
+            );
             if let Some(plan) = fault {
                 ctx.install_fault_plan(Arc::clone(plan));
             }
             let r = body(&mut ctx);
             let now = ctx.now();
             let stats = ctx.stats();
-            let (senders, mailbox) = ctx.into_parts();
-            (r, now, stats, RankLinks { senders, mailbox })
+            let (senders, mailbox, arena) = ctx.into_parts();
+            (
+                r,
+                now,
+                stats,
+                RankLinks {
+                    senders,
+                    mailbox,
+                    arena,
+                },
+            )
         }))
     };
     let run_rank = &run_rank;

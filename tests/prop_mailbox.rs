@@ -19,7 +19,7 @@ use proptest::prelude::*;
 
 use parallel_archetypes::mp::mailbox::build_network;
 use parallel_archetypes::mp::packet::{Packet, PacketBody};
-use parallel_archetypes::mp::transport::Backend;
+use parallel_archetypes::mp::transport::{spsc_channel, Backend, Disconnected};
 
 fn pkt(from: usize, tag: u64, value: u64) -> Packet {
     Packet {
@@ -323,5 +323,40 @@ proptest! {
             h.join().unwrap();
         }
         prop_assert_eq!(mb[2].unconsumed(), 0);
+    }
+
+    // Fuzz the SPSC fast path directly: a single producer thread pushes
+    // a randomized value stream with a randomized yield pattern (so the
+    // consumer races the producer through every queue state — empty,
+    // one-node, bursty, and the node-freelist steady state), and the
+    // consumer must read the stream back exactly, then observe
+    // disconnection once the producer hangs up. This is the interleaving
+    // coverage for the publish/park (Dekker) handshake and the node
+    // recycling CAS loops that the mesh-level properties above only
+    // exercise indirectly.
+    #[test]
+    fn real_backend_spsc_interleaving_fuzz(
+        values in vec(any::<u64>(), 1..400),
+        yields in vec(any::<bool>(), 1..50),
+    ) {
+        let (tx, rx) = spsc_channel::<u64>();
+        let vs = values.clone();
+        let ys = yields.clone();
+        let producer = std::thread::spawn(move || {
+            for (i, v) in vs.into_iter().enumerate() {
+                // SAFETY: this thread is the only one pushing into the
+                // queue for the sender's whole lifetime.
+                unsafe { tx.send(v).unwrap() };
+                if ys[i % ys.len()] {
+                    std::thread::yield_now();
+                }
+            }
+            // `tx` drops here: disconnect must wake a parked consumer.
+        });
+        for &v in &values {
+            prop_assert_eq!(rx.recv(), Ok(v));
+        }
+        prop_assert_eq!(rx.recv(), Err(Disconnected));
+        producer.join().unwrap();
     }
 }
