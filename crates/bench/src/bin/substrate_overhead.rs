@@ -12,7 +12,8 @@ use std::time::Instant;
 
 use archetype_mp::transport::{real_channel, spsc_channel};
 use archetype_mp::{
-    run_spmd, run_spmd_ft, run_spmd_real, run_spmd_unpooled, Ctx, FaultPlan, MachineModel,
+    run_spmd, run_spmd_ft, run_spmd_real, run_spmd_unpooled, run_spmd_with, Ctx, FaultPlan,
+    MachineModel, RunConfig,
 };
 
 /// Median-of-`reps` wall time of one `f()` call, in microseconds.
@@ -39,6 +40,58 @@ fn time_once<F: FnMut()>(mut f: F) -> f64 {
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// One round of paired-interleaved sampling: shared warmup over both
+/// variants, then `pairs` back-to-back samples with the order flipped
+/// every pair. Pushes the per-pair overhead ratios (in %) into
+/// `ratios` and returns `(median base µs, median variant µs)`.
+fn paired_samples(
+    pairs: usize,
+    mut base: impl FnMut(),
+    mut variant: impl FnMut(),
+    ratios: &mut Vec<f64>,
+) -> (f64, f64) {
+    for _ in 0..3 {
+        base();
+        variant();
+    }
+    let mut base_samples = Vec::with_capacity(pairs);
+    let mut var_samples = Vec::with_capacity(pairs);
+    for pair in 0..pairs {
+        let (b, v) = if pair % 2 == 0 {
+            let b = time_once(&mut base);
+            let v = time_once(&mut variant);
+            (b, v)
+        } else {
+            let v = time_once(&mut variant);
+            let b = time_once(&mut base);
+            (b, v)
+        };
+        base_samples.push(b);
+        var_samples.push(v);
+    }
+    ratios.extend(
+        base_samples
+            .iter()
+            .zip(&var_samples)
+            .map(|(b, v)| (v / b - 1.0) * 100.0),
+    );
+    (median(&mut base_samples), median(&mut var_samples))
+}
+
+/// Paired-interleaved overhead measurement (the same discipline as the
+/// fault-hook column below): the overhead is the median of per-pair
+/// ratios, floored at 0 since the variant does at least as much work.
+/// Returns `(median base µs, median variant µs, overhead %)`.
+fn paired_overhead(
+    pairs: usize,
+    base: impl FnMut(),
+    variant: impl FnMut(),
+) -> (f64, f64, f64) {
+    let mut ratios = Vec::with_capacity(pairs);
+    let (b, v) = paired_samples(pairs, base, variant, &mut ratios);
+    (b, v, median(&mut ratios).max(0.0))
 }
 
 /// The shared ping-pong body both latency variants run: `rounds`
@@ -140,6 +193,90 @@ fn main() {
     let ft_overhead_pct = median(&mut pair_overheads).max(0.0);
     let pp8 = median(&mut plain_samples) / ROUNDS as f64;
     let pp8_ft = median(&mut ft_samples) / ROUNDS as f64;
+
+    // Tracing overhead, both switch positions, on the two hot shapes
+    // (8-byte ping-pong and pooled trivial dispatch):
+    //
+    // * `trace_off`: the dormant per-operation `trace_hot` branch cannot
+    //   be isolated in-binary (there is no hook-free build), so this
+    //   column is an **A/A null pair** — `run_spmd` vs
+    //   `run_spmd_with(RunConfig::virtual_time())`, two entry points
+    //   that execute the identical untraced path. It bounds measurement
+    //   noise plus any cost the tracing plumbing added to the default
+    //   configuration; a real off-path regression additionally shows in
+    //   the absolute `latency` / `executor` columns tracked in-repo.
+    // * `trace_on`: the real price of recording — ring-buffer slot
+    //   writes plus one wall-clock read per event — for runs that opt
+    //   into `RunConfig::traced()`. Informational, not gated.
+    // The null pair needs a tighter estimate than the real comparisons:
+    // its true value is ~0, so the gate margin is pure noise floor.
+    // Both shapes test the same hypothesis (config plumbing is free),
+    // so their per-pair ratios are pooled into one median — taking the
+    // max of two per-shape medians would double the false-positive rate
+    // of the gate on a jittery container — and the sweep is repeated in
+    // interleaved epochs so a transient load spike cannot dominate.
+    const NULL_PAIRS: usize = 2 * PAIRS + 1;
+    const NULL_EPOCHS: usize = 3;
+    let off_config = RunConfig::virtual_time();
+    let mut null_ratios = Vec::with_capacity(2 * NULL_EPOCHS * NULL_PAIRS);
+    for _ in 0..NULL_EPOCHS {
+        paired_samples(
+            NULL_PAIRS,
+            || {
+                run_spmd(2, model, |ctx| ping_pong_body(ctx, 8, ROUNDS));
+            },
+            || {
+                run_spmd_with(2, model, off_config, |ctx| ping_pong_body(ctx, 8, ROUNDS));
+            },
+            &mut null_ratios,
+        );
+        paired_samples(
+            NULL_PAIRS,
+            || {
+                for _ in 0..CALLS {
+                    run_spmd(NPROCS, model, |ctx| ctx.rank());
+                }
+            },
+            || {
+                for _ in 0..CALLS {
+                    run_spmd_with(NPROCS, model, off_config, |ctx| ctx.rank());
+                }
+            },
+            &mut null_ratios,
+        );
+    }
+    let trace_off_overhead_pct = median(&mut null_ratios).max(0.0);
+
+    // Traced dispatch uses a small ring so the column reflects recording
+    // cost, not a 16-rank × default-capacity buffer allocation per
+    // trivial call.
+    let traced_pp = RunConfig::traced();
+    let traced_disp = RunConfig::traced().with_trace_capacity(256);
+    let (pp8_base, pp8_traced, trace_on_pp_pct) = paired_overhead(
+        PAIRS,
+        || {
+            run_spmd(2, model, |ctx| ping_pong_body(ctx, 8, ROUNDS));
+        },
+        || {
+            run_spmd_with(2, model, traced_pp, |ctx| ping_pong_body(ctx, 8, ROUNDS));
+        },
+    );
+    let (_, _, trace_on_disp_pct) = paired_overhead(
+        PAIRS,
+        || {
+            for _ in 0..CALLS {
+                run_spmd(NPROCS, model, |ctx| ctx.rank());
+            }
+        },
+        || {
+            for _ in 0..CALLS {
+                run_spmd_with(NPROCS, model, traced_disp, |ctx| ctx.rank());
+            }
+        },
+    );
+    let trace_on_overhead_pct = trace_on_pp_pct.max(trace_on_disp_pct);
+    let pp8_traced_us = pp8_traced / ROUNDS as f64;
+    let _ = pp8_base;
 
     // Fan-out: 1 MB broadcast across 16 ranks (shared payload path).
     let bcast_us = time_us(9, || {
@@ -252,6 +389,11 @@ fn main() {
     "ping_pong_8b_fault_hooks_idle_us_per_roundtrip": {pp8_ft:.3},
     "fault_hooks_idle_overhead_pct": {ft_overhead_pct:.1}
   }},
+  "tracing": {{
+    "ping_pong_8b_traced_us_per_roundtrip": {pp8_traced_us:.3},
+    "trace_off_overhead_pct": {trace_off_overhead_pct:.1},
+    "trace_on_overhead_pct": {trace_on_overhead_pct:.1}
+  }},
   "fanout": {{
     "broadcast_1mb_16_us_per_call": {bcast_us:.1},
     "all_gather_64kb_16_us_per_call": {gather_us:.1}
@@ -293,6 +435,14 @@ fn main() {
         let msg = format!(
             "idle fault hooks should cost < 2% on the 8-byte ping-pong \
              (got {ft_overhead_pct:.1}%)"
+        );
+        assert!(!strict, "{msg}");
+        eprintln!("WARNING: {msg}");
+    }
+    if trace_off_overhead_pct >= 2.0 {
+        let msg = format!(
+            "tracing-off must cost < 2% on the ping-pong / pooled-dispatch \
+             null pair (got {trace_off_overhead_pct:.1}%)"
         );
         assert!(!strict, "{msg}");
         eprintln!("WARNING: {msg}");

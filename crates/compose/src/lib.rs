@@ -52,6 +52,7 @@ mod alloc;
 mod exec;
 mod forecast;
 mod job;
+mod metrics;
 mod plan;
 mod serve;
 mod value;
@@ -65,6 +66,7 @@ pub use forecast::{
     forecast_input, forecast_plan, ForecastConfig, PoissonJob, SortJob, SweepJob, TopKJob,
 };
 pub use job::ArchetypeJob;
+pub use metrics::{MetricKind, Metrics};
 pub use plan::Plan;
 pub use serve::{
     pack_waves, AdmitError, CacheStats, PlanService, ServeConfig, ServeOutcome, ServeReport,

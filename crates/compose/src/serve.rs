@@ -54,6 +54,7 @@ use archetype_pipeline::apps::Digest;
 
 use crate::alloc::allocate;
 use crate::exec::{mix, try_run_plan_with, ComposeConfig, ComposeStats, PlanError};
+use crate::metrics::{MetricKind, Metrics};
 use crate::plan::Plan;
 use crate::value::Value;
 
@@ -132,6 +133,17 @@ impl fmt::Display for AdmitError {
                 "plan estimated at {estimated_flops:.3e} flops exceeds the \
                  admission ceiling of {ceiling:.3e}"
             ),
+        }
+    }
+}
+
+impl AdmitError {
+    /// Stable label of the rejection class, used as the `reason` label
+    /// of the service's `planserve_rejected_total` metric.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            AdmitError::QueueFull { .. } => "queue_full",
+            AdmitError::CostCeiling { .. } => "cost_ceiling",
         }
     }
 }
@@ -327,6 +339,10 @@ pub struct ServeReport {
     /// Completion-time digest over the batch's completed plans (virtual
     /// seconds from batch start); p50/p99 come from here.
     pub latency: Digest,
+    /// Per-tenant completion-time digests (same bucket range as
+    /// [`ServeReport::latency`]), ascending by tenant id — the source of
+    /// the service's per-tenant latency metrics.
+    pub tenant_latency: Vec<(TenantId, Digest)>,
     /// Waves the schedule packed the batch into.
     pub waves: u64,
 }
@@ -398,6 +414,74 @@ pub struct PlanService {
     queue: Vec<Submission>,
     rejected: BTreeMap<TenantId, u64>,
     tenants: BTreeMap<TenantId, TenantStats>,
+    metrics: Metrics,
+}
+
+/// The service's metric registry, with every series name declared up
+/// front so `metrics_text` always exposes the full schema.
+fn service_metrics() -> Metrics {
+    let mut m = Metrics::new();
+    m.describe(
+        "planserve_queue_depth",
+        MetricKind::Gauge,
+        "Submissions currently queued awaiting service.",
+    );
+    m.describe(
+        "planserve_admitted_total",
+        MetricKind::Counter,
+        "Submissions accepted by the admission controller.",
+    );
+    m.describe(
+        "planserve_rejected_total",
+        MetricKind::Counter,
+        "Submissions rejected at admission, by AdmitError reason.",
+    );
+    m.describe(
+        "planserve_batches_total",
+        MetricKind::Counter,
+        "Batches served (serve / serve_ft calls that executed).",
+    );
+    m.describe(
+        "planserve_waves_total",
+        MetricKind::Counter,
+        "Waves executed across all served batches.",
+    );
+    m.describe_histogram(
+        "planserve_wave_occupancy",
+        "Plans packed per executed wave.",
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+    );
+    m.describe(
+        "planserve_plans_completed_total",
+        MetricKind::Counter,
+        "Plans that completed with a value, by tenant.",
+    );
+    m.describe(
+        "planserve_plans_failed_total",
+        MetricKind::Counter,
+        "Plans that failed with a typed PlanError, by tenant.",
+    );
+    m.describe(
+        "planserve_cache_hits_total",
+        MetricKind::Counter,
+        "Structure-cache lookups answered from cache, by cache.",
+    );
+    m.describe(
+        "planserve_cache_misses_total",
+        MetricKind::Counter,
+        "Structure-cache lookups computed fresh, by cache.",
+    );
+    m.describe(
+        "planserve_tenant_latency_virtual_seconds",
+        MetricKind::Summary,
+        "Plan completion latency in virtual seconds, by tenant (quantiles from the last batch).",
+    );
+    m.describe(
+        "planserve_last_batch_virtual_seconds",
+        MetricKind::Gauge,
+        "Modeled virtual time of the most recently served batch.",
+    );
+    m
 }
 
 impl PlanService {
@@ -414,6 +498,7 @@ impl PlanService {
             queue: Vec::new(),
             rejected: BTreeMap::new(),
             tenants: BTreeMap::new(),
+            metrics: service_metrics(),
         }
     }
 
@@ -453,19 +538,25 @@ impl PlanService {
     ) -> Result<u64, AdmitError> {
         if self.queue.len() >= self.config.queue_capacity {
             *self.rejected.entry(tenant).or_default() += 1;
-            return Err(AdmitError::QueueFull {
+            let err = AdmitError::QueueFull {
                 capacity: self.config.queue_capacity,
-            });
+            };
+            self.metrics
+                .inc("planserve_rejected_total", &[("reason", err.reason())], 1);
+            return Err(err);
         }
         let hash = plan.structure_hash();
         let _shape = self.cache.shape(hash, &plan);
         let cost = self.cache.cost(hash, &input, &plan);
         if cost > self.config.cost_ceiling {
             *self.rejected.entry(tenant).or_default() += 1;
-            return Err(AdmitError::CostCeiling {
+            let err = AdmitError::CostCeiling {
                 estimated_flops: cost,
                 ceiling: self.config.cost_ceiling,
-            });
+            };
+            self.metrics
+                .inc("planserve_rejected_total", &[("reason", err.reason())], 1);
+            return Err(err);
         }
         let id = self.queue.len() as u64;
         self.queue.push(Submission {
@@ -474,6 +565,7 @@ impl PlanService {
             input,
             cost,
         });
+        self.metrics.inc("planserve_admitted_total", &[], 1);
         Ok(id)
     }
 
@@ -516,10 +608,12 @@ impl PlanService {
     /// elapsed virtual time).
     pub fn serve_spmd(&mut self, model: MachineModel, run: RunConfig) -> SpmdResult<ServeReport> {
         let waves = self.pack();
+        self.record_schedule_metrics(&waves);
         let subs = Arc::new(std::mem::take(&mut self.queue));
         let body = serve_body(Arc::clone(&subs), Arc::new(waves), self.config);
         let result = run_spmd_with(self.nprocs, model, run, body);
         self.absorb(&result.results[0]);
+        self.record_report_metrics(&result.results[0], result.elapsed_virtual);
         result
     }
 
@@ -557,6 +651,7 @@ impl PlanService {
     ) -> Result<ServeOutcome, SpmdError> {
         let rejected = std::mem::take(&mut self.rejected);
         let waves = self.pack();
+        self.record_schedule_metrics(&waves);
         let subs = Arc::new(std::mem::take(&mut self.queue));
         let body = serve_body(Arc::clone(&subs), Arc::new(waves), self.config);
         let ft = run_spmd_ft_with(self.nprocs, model, fault, RunConfig::virtual_time(), body)?;
@@ -575,6 +670,7 @@ impl PlanService {
             .expect("one rank minimum")
             .expect("no failures");
         self.absorb(&report);
+        self.record_report_metrics(&report, ft.elapsed_virtual);
         fold_rejections(&mut report, &rejected, &mut self.tenants);
         Ok(ServeOutcome {
             report,
@@ -589,6 +685,63 @@ impl PlanService {
         for (t, s) in &report.tenants {
             self.tenants.entry(*t).or_default().absorb(s);
         }
+    }
+
+    /// Count a packed schedule that is about to execute.
+    fn record_schedule_metrics(&mut self, waves: &[Wave]) {
+        self.metrics
+            .inc("planserve_waves_total", &[], waves.len() as u64);
+        for wave in waves {
+            self.metrics
+                .observe("planserve_wave_occupancy", &[], wave.plans.len() as f64);
+        }
+        if !waves.is_empty() {
+            self.metrics.inc("planserve_batches_total", &[], 1);
+        }
+    }
+
+    /// Fold one batch's report into the metrics registry.
+    fn record_report_metrics(&mut self, report: &ServeReport, elapsed_virtual: f64) {
+        for (t, s) in &report.tenants {
+            let tenant = t.to_string();
+            let labels: [(&'static str, &str); 1] = [("tenant", &tenant)];
+            self.metrics
+                .inc("planserve_plans_completed_total", &labels, s.completed);
+            self.metrics
+                .inc("planserve_plans_failed_total", &labels, s.failed);
+        }
+        for (t, digest) in &report.tenant_latency {
+            let tenant = t.to_string();
+            let labels: [(&'static str, &str); 1] = [("tenant", &tenant)];
+            self.metrics.observe_summary(
+                "planserve_tenant_latency_virtual_seconds",
+                &labels,
+                digest.sum,
+                digest.count,
+                &[(0.5, digest.percentile(0.50)), (0.99, digest.percentile(0.99))],
+            );
+        }
+        self.metrics
+            .set("planserve_last_batch_virtual_seconds", &[], elapsed_virtual);
+    }
+
+    /// Render the service's metrics in the Prometheus text exposition
+    /// format. Live counters (admissions, rejections, waves, per-tenant
+    /// completions and latency) are joined by point-in-time mirrors of
+    /// the queue depth and the cumulative [`CacheStats`].
+    pub fn metrics_text(&self) -> String {
+        let mut m = self.metrics.clone();
+        m.set("planserve_queue_depth", &[], self.queue.len() as f64);
+        let c = self.cache.stats;
+        for (cache, hits, misses) in [
+            ("shape", c.shape_hits, c.shape_misses),
+            ("cost", c.cost_hits, c.cost_misses),
+            ("alloc", c.alloc_hits, c.alloc_misses),
+        ] {
+            m.sync_counter("planserve_cache_hits_total", &[("cache", cache)], hits);
+            m.sync_counter("planserve_cache_misses_total", &[("cache", cache)], misses);
+        }
+        m.render()
     }
 }
 
@@ -625,6 +778,7 @@ fn serve_body(
     move |ctx| {
         let mut mine: Vec<PlanDone> = Vec::new();
         for (w, wave) in waves.iter().enumerate() {
+            ctx.trace_wave_start(w, wave.plans.len());
             let me = ctx.rank();
             let j = (0..wave.plans.len())
                 .rfind(|&j| wave.starts[j] <= me)
@@ -663,6 +817,7 @@ fn serve_body(
             .fold(0.0f64, f64::max);
         let hi = if hi > 0.0 { hi * (1.0 + 1e-9) } else { 1.0 };
         let mut latency = Digest::new(config.latency_top_k, config.latency_buckets, 0.0, hi);
+        let mut tenant_latency: BTreeMap<TenantId, Digest> = BTreeMap::new();
         let mut outcomes = Vec::with_capacity(done.len());
         let mut tenants: BTreeMap<TenantId, TenantStats> = BTreeMap::new();
         for d in done {
@@ -673,6 +828,12 @@ fn serve_body(
                     t.completed += 1;
                     t.compose = ComposeStats::combine(t.compose, stats);
                     latency.add(d.finish);
+                    tenant_latency
+                        .entry(d.tenant)
+                        .or_insert_with(|| {
+                            Digest::new(config.latency_top_k, config.latency_buckets, 0.0, hi)
+                        })
+                        .add(d.finish);
                     outcomes.push(Ok(value));
                 }
                 Err(e) => {
@@ -685,6 +846,7 @@ fn serve_body(
             outcomes,
             tenants: tenants.into_iter().collect(),
             latency,
+            tenant_latency: tenant_latency.into_iter().collect(),
             waves: waves.len() as u64,
         }
     }

@@ -65,9 +65,12 @@ pub enum PhaseKind {
     Recover,
 }
 
-impl std::fmt::Display for PhaseKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl PhaseKind {
+    /// Stable lowercase name of the phase kind — the `kind` string
+    /// stamped into substrate trace events (`Ctx::trace_phase`) and
+    /// printed by `Display`.
+    pub fn name(&self) -> &'static str {
+        match self {
             PhaseKind::Recurse => "recurse",
             PhaseKind::Split => "split",
             PhaseKind::Solve => "solve",
@@ -88,8 +91,13 @@ impl std::fmt::Display for PhaseKind {
             PhaseKind::Emit => "emit",
             PhaseKind::Detect => "detect",
             PhaseKind::Recover => "recover",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -266,6 +266,7 @@ where
     if cut {
         return problem.map(|p| {
             ctx.charge_flops(alg.solve_cost(&p));
+            ctx.trace_phase(PhaseKind::Solve.name(), "sequential solve at the cutoff");
             if let Some(t) = trace {
                 t.record(PhaseKind::Solve, "sequential solve at the cutoff");
             }
@@ -273,6 +274,7 @@ where
         });
     }
 
+    ctx.trace_phase(PhaseKind::Recurse.name(), "divide and descend into subgroups");
     if let Some(t) = trace {
         t.record(PhaseKind::Recurse, "divide and descend into subgroups");
     }
@@ -319,6 +321,7 @@ where
     );
     gathered.map(|parts| {
         ctx.charge_flops(alg.combine_cost(&parts));
+        ctx.trace_phase(PhaseKind::Merge.name(), "combine subsolutions up the tree");
         if let Some(t) = trace {
             t.record(PhaseKind::Merge, "combine subsolutions up the tree");
         }

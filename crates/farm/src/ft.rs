@@ -253,7 +253,8 @@ where
     let p = ctx.nprocs();
     let me = ctx.rank();
     if p == 1 || me == 0 {
-        let record = |kind: PhaseKind, label: &str| {
+        let record = |ctx: &mut Ctx, kind: PhaseKind, label: &str| {
+            ctx.trace_phase(kind.name(), label);
             if let Some(t) = trace {
                 t.record(kind, label);
             }
@@ -268,7 +269,7 @@ fn master<F>(
     farm: &F,
     ctx: &mut Ctx,
     config: FtFarmConfig,
-    record: &dyn Fn(PhaseKind, &str),
+    record: &dyn Fn(&mut Ctx, PhaseKind, &str),
 ) -> (F::Out, FtFarmStats)
 where
     F: Farm + ?Sized,
@@ -277,7 +278,7 @@ where
     let p = ctx.nprocs();
     let hint = F::Hint::default();
 
-    record(PhaseKind::Seed, "seed pool, chunked into work orders");
+    record(ctx, PhaseKind::Seed, "seed pool, chunked into work orders");
     let mut m: Master<F> = Master::new(config.batch);
     let seed = farm.seed();
     ctx.charge_items(seed.len().max(1), SEED_FLOPS_PER_TASK);
@@ -293,7 +294,7 @@ where
     let mut done_seq = vec![0u64; p];
 
     loop {
-        record(PhaseKind::Work, "assign orders, collect batch results");
+        record(ctx, PhaseKind::Work, "assign orders, collect batch results");
 
         // Assign the front of the queue to idle workers believed alive.
         // Send failures are deliberately ignored: whether a dying
@@ -322,8 +323,9 @@ where
             }
             // Every worker is dead but work remains: degrade to local
             // execution so the farm still completes.
-            record(PhaseKind::Detect, "no live workers remain");
+            record(ctx, PhaseKind::Detect, "no live workers remain");
             record(
+                ctx,
                 PhaseKind::Recover,
                 "master executes remaining batches locally",
             );
@@ -350,8 +352,8 @@ where
                     m.incorporate(batch, res.out, res.spawned);
                 }
                 Err(_) => {
-                    record(PhaseKind::Detect, "worker heartbeat timed out");
-                    record(PhaseKind::Recover, "requeue lost batch for re-execution");
+                    record(ctx, PhaseKind::Detect, "worker heartbeat timed out");
+                    record(ctx, PhaseKind::Recover, "requeue lost batch for re-execution");
                     ctx.charge_seconds(config.detect_timeout);
                     alive[w] = false;
                     m.stats.workers_lost += 1;
@@ -363,6 +365,7 @@ where
     }
 
     record(
+        ctx,
         PhaseKind::Terminate,
         "pool drained; fold and broadcast shutdown",
     );

@@ -436,8 +436,12 @@ pub fn run_farm_traced<F: Farm>(
 ) -> (F::Out, FarmStats) {
     let p = ctx.nprocs();
     let me = ctx.rank();
-    let record = |kind: PhaseKind, label: &str| {
-        if me == 0 {
+    let record = |ctx: &mut Ctx, kind: PhaseKind, label: &str| {
+        // Every rank stamps the phase into the substrate trace (spans in
+        // the per-rank tracks); the legacy PhaseTrace summary stays
+        // rank-0-only.
+        ctx.trace_phase(kind.name(), label);
+        if ctx.rank() == 0 {
             if let Some(t) = trace {
                 t.record(kind, label);
             }
@@ -445,7 +449,7 @@ pub fn run_farm_traced<F: Farm>(
     };
 
     // --- Seed: deterministic pool, dealt round-robin. --------------------
-    record(PhaseKind::Seed, "seed pool, round-robin deal");
+    record(ctx, PhaseKind::Seed, "seed pool, round-robin deal");
     let mut stats = FarmStats::default();
     let mut queue: Queue<F::Task> = Queue::new();
     let seed = farm.seed();
@@ -469,7 +473,7 @@ pub fn run_farm_traced<F: Farm>(
         stats.rounds += 1;
 
         // --- Work: drain a batch from the local queue. -------------------
-        record(PhaseKind::Work, "drain batch");
+        record(ctx, PhaseKind::Work, "drain batch");
         let batch = match config.batch {
             Batching::Fixed(b) => b.max(1),
             Batching::Adaptive => {
@@ -511,7 +515,7 @@ pub fn run_farm_traced<F: Farm>(
 
         // --- Steal: pairwise load exchange on a hypercube schedule. ------
         if config.steal && p > 1 {
-            record(PhaseKind::Steal, "steal-request/steal-reply exchange");
+            record(ctx, PhaseKind::Steal, "steal-request/steal-reply exchange");
             let partner = me ^ (1usize << (round % steal_dims));
             if partner < p {
                 let req = farm_tag(FarmTag::StealRequest, round);
@@ -590,7 +594,7 @@ pub fn run_farm_traced<F: Farm>(
     }
 
     // --- Terminate: combine accumulators and statistics. -----------------
-    record(PhaseKind::Terminate, "quiescence proven; final reduction");
+    record(ctx, PhaseKind::Terminate, "quiescence proven; final reduction");
     let out = ctx.all_reduce(acc.take().expect("acc"), |a, b| farm.reduce(a, b));
     let global_stats = ctx.all_reduce(stats, FarmStats::combine);
     (out, global_stats)

@@ -148,15 +148,18 @@ pub fn poisson_spmd_traced(
     );
     let h2 = spec.h() * spec.h();
     let rank = ctx.rank();
-    let record = |kind: PhaseKind, label: &str| {
-        if rank == 0 {
+    let record = |ctx: &mut Ctx, kind: PhaseKind, label: &str| {
+        // Every rank stamps the phase into the substrate trace; the
+        // legacy PhaseTrace summary stays rank-0-only.
+        ctx.trace_phase(kind.name(), label);
+        if ctx.rank() == 0 {
             if let Some(t) = trace {
                 t.record(kind, label);
             }
         }
     };
 
-    record(PhaseKind::Io, "block-distribute rhs and initial grid");
+    record(ctx, PhaseKind::Io, "block-distribute rhs and initial grid");
     let mut uk = DistGrid2::from_global(rank, pgrid, spec.nx, spec.ny, 1, 0.0, |i, j| {
         spec.initial(i, j)
     });
@@ -171,9 +174,9 @@ pub fn poisson_spmd_traced(
 
     while *diffmax.get() > spec.tolerance && iters < spec.max_iters {
         // Satisfy the grid-op precondition: refresh the ghost boundary.
-        record(PhaseKind::Communication, "ghost boundary exchange");
+        record(ctx, PhaseKind::Communication, "ghost boundary exchange");
         uk.exchange_ghosts(ctx);
-        record(PhaseKind::GridOp, "Jacobi sweep");
+        record(ctx, PhaseKind::GridOp, "Jacobi sweep");
         // Grid op on the intersection of the local section and the global
         // interior; 6 flops per point in the model.
         let mut ukp = uk.clone();
@@ -203,13 +206,13 @@ pub fn poisson_spmd_traced(
             local_diffmax = 0.0;
         }
         // Reduction re-establishes copy consistency of diffmax.
-        record(PhaseKind::Reduction, "global max of local diffmax");
+        record(ctx, PhaseKind::Reduction, "global max of local diffmax");
         diffmax.reduce_from(ctx, local_diffmax, f64::max);
         uk = ukp;
         iters += 1;
     }
 
-    record(PhaseKind::Io, "gather solution to rank 0");
+    record(ctx, PhaseKind::Io, "gather solution to rank 0");
     let grid = uk.gather_global(ctx);
     PoissonResult {
         grid,

@@ -19,6 +19,7 @@ impl Ctx {
     /// After it returns, every rank's virtual clock is at least the
     /// maximum clock any rank had when entering the barrier.
     pub fn barrier(&mut self) {
+        self.trace_collective("barrier");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -56,6 +57,7 @@ impl Ctx {
         root: usize,
         value: Option<Shared<T>>,
     ) -> Shared<T> {
+        self.trace_collective("broadcast");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -103,6 +105,7 @@ impl Ctx {
     /// Linear gather to `root`: returns `Some(values)` on the root with
     /// `values[r]` the contribution of rank `r`, `None` elsewhere.
     pub fn gather<T: Payload>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        self.trace_collective("gather");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         if self.rank() == root {
@@ -140,6 +143,7 @@ impl Ctx {
     /// receives refcounted handles onto the single allocation each rank
     /// contributed, for zero deep copies anywhere in the ring.
     pub fn all_gather_shared<T: Payload + Sync>(&mut self, value: Shared<T>) -> Vec<Shared<T>> {
+        self.trace_collective("all_gather");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -163,6 +167,7 @@ impl Ctx {
     /// Linear scatter from `root`: the root supplies one value per rank
     /// (`values[r]` goes to rank `r`); every rank returns its own piece.
     pub fn scatter<T: Payload>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        self.trace_collective("scatter");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         if self.rank() == root {
@@ -191,6 +196,7 @@ impl Ctx {
     /// split/merge redistribution and of the mesh archetype's grid
     /// redistribution.
     pub fn all_to_all<T: Payload>(&mut self, items: Vec<T>) -> Vec<T> {
+        self.trace_collective("all_to_all");
         let n = self.nprocs();
         assert_eq!(items.len(), n, "all_to_all needs one item per rank");
         let base = self.next_collective_tag();
@@ -219,6 +225,7 @@ impl Ctx {
         T: Payload,
         F: Fn(T, T) -> T,
     {
+        self.trace_collective("reduce");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -264,6 +271,7 @@ impl Ctx {
         T: Payload + Clone,
         F: Fn(T, T) -> T,
     {
+        self.trace_collective("all_reduce");
         let n = self.nprocs();
         let base = self.next_collective_tag();
         let rank = self.rank();
@@ -327,6 +335,7 @@ impl Ctx {
         T: Payload + Clone + Sync,
         F: Fn(T, T) -> T,
     {
+        self.trace_collective("all_reduce_via_gather");
         let gathered = self.gather(0, value);
         let folded = gathered.map(|vs| {
             let mut it = vs.into_iter();

@@ -9,6 +9,7 @@ use crate::model::MachineModel;
 use crate::packet::{Packet, PacketBody};
 use crate::payload::{Payload, PayloadArena, Shared};
 use crate::stats::RankStats;
+use crate::trace::{TraceEvent, TraceRecorder};
 use crate::transport::{publish_fence, PacketSender};
 
 /// Message tag. Tags with the top bit set are reserved for collectives.
@@ -66,6 +67,14 @@ pub struct Ctx {
     /// the per-operation hooks (and their counters) entirely and pay
     /// exactly one predictable branch per send/receive.
     fault_hot: bool,
+    /// Per-rank event recorder installed by the runner for traced runs
+    /// ([`crate::RunConfig`]`::traced`); `None` — the default — keeps
+    /// every trace hook to a single branch. Boxed so the untraced `Ctx`
+    /// carries one pointer, not a ring buffer.
+    tracer: Option<Box<TraceRecorder>>,
+    /// Precomputed `tracer.is_some()`, mirroring `fault_hot`: the hot
+    /// path tests one bool instead of matching on the `Option`.
+    trace_hot: bool,
     /// Operation counters keying the crash schedule: world-rank-local
     /// indices of sends, receives, and [`Ctx::fault_point`] calls. They
     /// deliberately survive [`Ctx::scoped`] sections — a crash site
@@ -99,6 +108,8 @@ impl Ctx {
             peers: (0..nprocs).collect(),
             fault: None,
             fault_hot: false,
+            tracer: None,
+            trace_hot: false,
             send_ops: 0,
             recv_ops: 0,
             phase_ops: 0,
@@ -110,6 +121,102 @@ impl Ctx {
     pub(crate) fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
         self.fault_hot = plan.hooks_live();
         self.fault = Some(plan);
+    }
+
+    /// Install the per-rank event recorder (called by the runner before
+    /// the body runs when the [`crate::RunConfig`] asks for tracing).
+    pub(crate) fn install_tracer(&mut self, tracer: Box<TraceRecorder>) {
+        self.trace_hot = true;
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the recorder (called by the runner after the
+    /// body completes, before the network is recycled).
+    pub(crate) fn take_tracer(&mut self) -> Option<Box<TraceRecorder>> {
+        self.trace_hot = false;
+        self.tracer.take()
+    }
+
+    /// True when this run is recording trace events — lets callers skip
+    /// building expensive labels for untraced runs.
+    pub fn is_traced(&self) -> bool {
+        self.trace_hot
+    }
+
+    /// Record a trace event. Callers gate on `trace_hot`, so the unwrap
+    /// of the recorder never fires on the untraced path.
+    #[inline]
+    fn trace(&mut self, event: TraceEvent) {
+        let rec = self.tracer.as_mut().expect("trace_hot implies a recorder");
+        rec.record(event);
+    }
+
+    /// Nanoseconds since the run's dispatch instant (traced runs only).
+    #[inline]
+    fn trace_wall_ns(&self) -> u64 {
+        self.tracer
+            .as_ref()
+            .expect("trace_hot implies a recorder")
+            .wall_ns()
+    }
+
+    /// Record entry into an archetype protocol phase. One branch and
+    /// nothing else when the run is untraced, so skeletons call it
+    /// unconditionally; `label` is truncated to the inline
+    /// [`crate::trace::Label`] capacity without allocating.
+    pub fn trace_phase(&mut self, kind: &'static str, label: &str) {
+        if !self.trace_hot {
+            return;
+        }
+        let event = TraceEvent::Phase {
+            kind,
+            label: label.into(),
+            vt: self.clock,
+            wall_ns: self.trace_wall_ns(),
+        };
+        self.trace(event);
+    }
+
+    /// Record the start of a plan-service wave (called by the compose
+    /// layer's serve loop). A no-op for untraced runs.
+    pub fn trace_wave_start(&mut self, wave: usize, plans: usize) {
+        if !self.trace_hot {
+            return;
+        }
+        let event = TraceEvent::WaveStart {
+            wave: wave as u32,
+            plans: plans as u32,
+            vt: self.clock,
+            wall_ns: self.trace_wall_ns(),
+        };
+        self.trace(event);
+    }
+
+    /// Record entry into a collective (called at the top of every
+    /// collective in [`crate::collectives`]).
+    pub(crate) fn trace_collective(&mut self, name: &'static str) {
+        if !self.trace_hot {
+            return;
+        }
+        let event = TraceEvent::Collective {
+            name,
+            vt: self.clock,
+            wall_ns: self.trace_wall_ns(),
+        };
+        self.trace(event);
+    }
+
+    /// Record the rank's dispatch onto its worker (runner-internal;
+    /// always the first event of a traced rank).
+    pub(crate) fn trace_pool_dispatch(&mut self) {
+        if !self.trace_hot {
+            return;
+        }
+        let event = TraceEvent::PoolDispatch {
+            vt: self.clock,
+            wall_ns: self.trace_wall_ns(),
+        };
+        self.trace(event);
     }
 
     /// The active fault schedule, if this run is executing under
@@ -234,10 +341,22 @@ impl Ctx {
             arrival_time += self.fault_send_hook(to, tag);
         }
         self.clock += self.model.send_overhead;
-        self.stats.comm_time += self.model.send_overhead;
+        self.stats.overhead_time += self.model.send_overhead;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
         let dest = self.peers[to];
+        if self.trace_hot {
+            let event = TraceEvent::Send {
+                to: dest as u32,
+                scope: self.scope,
+                tag,
+                bytes: bytes as u64,
+                vt: self.clock,
+                arrival_vt: arrival_time,
+                wall_ns: self.trace_wall_ns(),
+            };
+            self.trace(event);
+        }
         let pkt = Packet {
             from: self.rank,
             scope: self.scope,
@@ -367,14 +486,32 @@ impl Ctx {
     }
 
     /// Advance the clock past a received packet's arrival and charge
-    /// receive-side overhead.
+    /// receive-side overhead. Waiting (the clock jump) and the CPU
+    /// overhead are charged to separate counters so profiling can tell
+    /// blocked-on-peer from substrate cost.
     fn settle_recv(&mut self, arrival_time: f64) {
         if arrival_time > self.clock {
-            self.stats.comm_time += arrival_time - self.clock;
+            self.stats.wait_time += arrival_time - self.clock;
             self.clock = arrival_time;
         }
         self.clock += self.model.recv_overhead;
-        self.stats.comm_time += self.model.recv_overhead;
+        self.stats.overhead_time += self.model.recv_overhead;
+    }
+
+    /// Record a completed receive: `vt_posted` is the clock captured
+    /// before matching, everything else comes from the settled packet.
+    fn trace_recv(&mut self, sender_world: usize, pkt: &Packet, vt_posted: f64) {
+        let event = TraceEvent::Recv {
+            from: sender_world as u32,
+            scope: pkt.scope,
+            tag: pkt.tag,
+            bytes: pkt.bytes as u64,
+            vt_posted,
+            arrival_vt: pkt.arrival_time,
+            vt: self.clock,
+            wall_ns: self.trace_wall_ns(),
+        };
+        self.trace(event);
     }
 
     /// Block for the next matching packet and charge receive-side costs.
@@ -383,10 +520,13 @@ impl Ctx {
         if self.fault_hot {
             self.fault_recv_hook();
         }
-        let pkt = self
-            .mailbox
-            .recv_matching(self.peers[from], self.scope, tag);
+        let vt_posted = self.clock;
+        let sender = self.peers[from];
+        let pkt = self.mailbox.recv_matching(sender, self.scope, tag);
         self.settle_recv(pkt.arrival_time);
+        if self.trace_hot {
+            self.trace_recv(sender, &pkt, vt_posted);
+        }
         pkt
     }
 
@@ -399,12 +539,16 @@ impl Ctx {
         if self.fault_hot {
             self.fault_recv_hook();
         }
+        let vt_posted = self.clock;
         let sender = self.peers[from];
         let pkt = self
             .mailbox
             .try_recv_matching(sender, self.scope, tag)
             .map_err(|_| RankDead { rank: sender })?;
         self.settle_recv(pkt.arrival_time);
+        if self.trace_hot {
+            self.trace_recv(sender, &pkt, vt_posted);
+        }
         Ok(pkt)
     }
 
@@ -538,7 +682,10 @@ impl Ctx {
                 .retransmit_timeout();
             let penalty = drops as f64 * timeout;
             self.clock += penalty;
-            self.stats.comm_time += penalty;
+            // Retransmission stalls are wait, not CPU overhead: the rank
+            // sits out the modeled timeout exactly as it would a late
+            // arrival.
+            self.stats.wait_time += penalty;
             self.stats.fault_events += drops;
         }
         let bytes = value.size_bytes();
@@ -930,6 +1077,7 @@ mod tests {
         assert_eq!(out.results[0].msgs_sent, 2);
         assert_eq!(out.results[0].bytes_sent, 81);
         assert_eq!(out.results[1].msgs_sent, 0);
-        assert!(out.results[1].comm_time > 0.0);
+        assert!(out.results[1].comm_time() > 0.0);
+        assert!(out.results[1].overhead_time > 0.0);
     }
 }

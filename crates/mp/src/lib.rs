@@ -80,6 +80,7 @@ pub mod runner;
 pub mod stats;
 pub mod tags;
 pub mod topology;
+pub mod trace;
 pub mod transport;
 
 pub use costmeter::CostMeter;
@@ -95,5 +96,6 @@ pub use runner::{
 };
 pub use stats::{RankStats, RunStats};
 pub use tags::{compose_tag, farm_tag, ft_tag, pipe_tag, ComposeTag, FarmTag, FtTag, PipeTag};
+pub use trace::{CriticalPathReport, Label, RankTrace, RunTrace, TraceEvent, TraceRecorder};
 pub use topology::{ProcessGrid2, ProcessGrid3};
 pub use transport::Backend;

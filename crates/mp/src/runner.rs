@@ -40,6 +40,7 @@ use crate::model::MachineModel;
 use crate::payload::PayloadArena;
 use crate::pool;
 use crate::stats::{RankStats, RunStats};
+use crate::trace::{RankTrace, RunTrace, TraceRecorder};
 use crate::transport::{Backend, PacketSender};
 
 /// Lock a mutex, tolerating poison: a rank that panicked while holding
@@ -67,6 +68,10 @@ pub struct SpmdResult<R> {
     /// simulation cost, not a modeled quantity) and is the *only* field
     /// that legitimately differs between backends or repeated runs.
     pub wall_us: u64,
+    /// Per-rank event streams of a traced run ([`RunConfig::traced`]);
+    /// `None` unless tracing was requested. Export with
+    /// [`RunTrace::chrome_json`], analyze with [`RunTrace::critical_path`].
+    pub trace: Option<RunTrace>,
 }
 
 impl<R> SpmdResult<R> {
@@ -342,13 +347,14 @@ fn release_network(nprocs: usize, backend: Backend, links: Vec<RankLinks>) {
     cache.channels += channels;
 }
 
-type RankOutcome<R> = (R, f64, RankStats, RankLinks);
+type RankOutcome<R> = (R, f64, RankStats, Option<Box<TraceRecorder>>, RankLinks);
 type JobResult<R> = Result<RankOutcome<R>, Box<dyn std::any::Any + Send>>;
 
 /// A completed rank as seen by the runner frontends: return value, final
-/// clock, statistics (the links were already returned to the network
-/// lifecycle by the core).
-type RankDone<R> = (R, f64, RankStats);
+/// clock, statistics, and — for traced runs — the rank's event stream
+/// (the links were already returned to the network lifecycle by the
+/// core).
+type RankDone<R> = (R, f64, RankStats, Option<RankTrace>);
 
 /// Turn a caught panic payload into a structured failure. Injected
 /// crashes carry their context ([`InjectedCrash`]); genuine panics yield
@@ -396,14 +402,20 @@ fn run_inner_result<F, R>(
     model: MachineModel,
     fault: Option<Arc<FaultPlan>>,
     body: F,
-    pooled: bool,
-    backend: Backend,
+    config: RunConfig,
 ) -> (Vec<Result<RankDone<R>, RankFailure>>, usize, u64)
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
     assert!(nprocs > 0, "need at least one process");
+    let RunConfig {
+        backend,
+        pooled,
+        traced,
+        trace_capacity,
+        ..
+    } = config;
     let links = if pooled {
         acquire_network(nprocs, backend)
     } else {
@@ -413,7 +425,10 @@ where
     let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..nprocs).map(|_| Mutex::new(None)).collect();
     let body = &body;
     let fault = &fault;
-    let run_rank = |rank: usize, links: RankLinks| -> JobResult<R> {
+    // One wall-clock anchor shared by every rank's recorder, taken
+    // before dispatch so all tracks measure from the same instant.
+    let started = Instant::now();
+    let run_rank = move |rank: usize, links: RankLinks| -> JobResult<R> {
         catch_unwind(AssertUnwindSafe(|| {
             let mut ctx = Ctx::new(
                 rank,
@@ -426,14 +441,20 @@ where
             if let Some(plan) = fault {
                 ctx.install_fault_plan(Arc::clone(plan));
             }
+            if traced {
+                ctx.install_tracer(Box::new(TraceRecorder::new(trace_capacity, started)));
+                ctx.trace_pool_dispatch();
+            }
             let r = body(&mut ctx);
             let now = ctx.now();
             let stats = ctx.stats();
+            let tracer = ctx.take_tracer();
             let (senders, mailbox, arena) = ctx.into_parts();
             (
                 r,
                 now,
                 stats,
+                tracer,
                 RankLinks {
                     senders,
                     mailbox,
@@ -444,8 +465,6 @@ where
     };
     let run_rank = &run_rank;
     let slots_ref = &slots;
-
-    let started = Instant::now();
     if pooled {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = links
             .into_iter()
@@ -475,9 +494,10 @@ where
     let mut any_failed = false;
     for (rank, slot) in slots.iter().enumerate() {
         match lock_unpoisoned(slot).take() {
-            Some(Ok((r, now, stats, l))) => {
+            Some(Ok((r, now, stats, tracer, l))) => {
                 links_back.push(l);
-                outcomes.push(Ok((r, now, stats)));
+                let trace = tracer.map(|t| t.into_rank_trace(rank));
+                outcomes.push(Ok((r, now, stats, trace)));
             }
             Some(Err(payload)) => {
                 any_failed = true;
@@ -526,16 +546,31 @@ pub struct RunConfig {
     pub pooled: bool,
     /// Panic if the run ends with unreceived messages (true by default).
     pub check_leaks: bool,
+    /// Record per-rank event traces into [`SpmdResult::trace`] (false by
+    /// default). Tracing never perturbs results, clocks, or statistics —
+    /// the observer-effect guard in `tests/prop_trace.rs` holds them
+    /// bit-identical to untraced runs.
+    pub traced: bool,
+    /// Ring-buffer capacity (events per rank) of a traced run; beyond
+    /// it the oldest events are dropped and counted. Ignored unless
+    /// `traced` is set.
+    pub trace_capacity: usize,
 }
+
+/// Default per-rank event capacity of traced runs: enough for the test
+/// and bench workloads in-repo without preallocating megabytes per rank.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16 * 1024;
 
 impl RunConfig {
     /// The default configuration, spelled out: virtual-time backend,
-    /// pooled dispatch, leak check on.
+    /// pooled dispatch, leak check on, tracing off.
     pub fn virtual_time() -> Self {
         RunConfig {
             backend: Backend::Virtual,
             pooled: true,
             check_leaks: true,
+            traced: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -548,10 +583,37 @@ impl RunConfig {
         }
     }
 
+    /// [`RunConfig::virtual_time`] with event tracing on: the run
+    /// returns its per-rank event streams in [`SpmdResult::trace`].
+    pub fn traced() -> Self {
+        RunConfig {
+            traced: true,
+            ..Self::virtual_time()
+        }
+    }
+
     /// Same configuration on the other backend — handy for equivalence
     /// harnesses that run each case twice.
     pub fn on(self, backend: Backend) -> Self {
         RunConfig { backend, ..self }
+    }
+
+    /// This configuration with tracing switched on (composes with
+    /// [`RunConfig::real`] etc.).
+    pub fn with_tracing(self) -> Self {
+        RunConfig {
+            traced: true,
+            ..self
+        }
+    }
+
+    /// This configuration with the given traced ring-buffer capacity
+    /// (events per rank); implies nothing about `traced` itself.
+    pub fn with_trace_capacity(self, events: usize) -> Self {
+        RunConfig {
+            trace_capacity: events,
+            ..self
+        }
     }
 }
 
@@ -566,28 +628,25 @@ impl std::default::Default for RunConfig {
 /// Shared frontend for the panicking entry points: re-raises the first
 /// rank failure as a panic whose message contains the original panic
 /// text, and applies the leak check to successful runs.
-fn run_checked<F, R>(
-    nprocs: usize,
-    model: MachineModel,
-    body: F,
-    check_leaks: bool,
-    pooled: bool,
-    backend: Backend,
-) -> SpmdResult<R>
+fn run_checked<F, R>(nprocs: usize, model: MachineModel, body: F, config: RunConfig) -> SpmdResult<R>
 where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let (outcomes, leaked, wall_us) = run_inner_result(nprocs, model, None, body, pooled, backend);
+    let (outcomes, leaked, wall_us) = run_inner_result(nprocs, model, None, body, config);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
+    let mut rank_traces = Vec::with_capacity(if config.traced { nprocs } else { 0 });
     for outcome in outcomes {
         match outcome {
-            Ok((r, now, stats)) => {
+            Ok((r, now, stats, trace)) => {
                 results.push(r);
                 rank_times.push(now);
                 per_rank.push(stats);
+                if let Some(t) = trace {
+                    rank_traces.push(t);
+                }
             }
             // A failed rank takes precedence, matching `std::thread::scope`
             // semantics; the message keeps the original panic text so
@@ -595,7 +654,7 @@ where
             Err(failure) => panic!("{}", failure.message),
         }
     }
-    if check_leaks {
+    if config.check_leaks {
         assert_eq!(
             leaked, 0,
             "run finished with {leaked} unreceived message(s): \
@@ -603,12 +662,18 @@ where
         );
     }
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
+    let trace = config.traced.then(|| RunTrace {
+        ranks: rank_traces,
+        rank_times: rank_times.clone(),
+        elapsed_virtual,
+    });
     SpmdResult {
         results,
         elapsed_virtual,
         rank_times,
         stats: RunStats { per_rank },
         wall_us,
+        trace,
     }
 }
 
@@ -640,7 +705,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, true, true, Backend::Virtual)
+    run_checked(nprocs, model, body, RunConfig::virtual_time())
 }
 
 /// [`run_spmd`] with an explicit [`RunConfig`]: the entry point that
@@ -671,14 +736,7 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(
-        nprocs,
-        model,
-        body,
-        config.check_leaks,
-        config.pooled,
-        config.backend,
-    )
+    run_checked(nprocs, model, body, config)
 }
 
 /// Convenience for [`run_spmd_with`]`(…, RunConfig::real(), …)`: run the
@@ -699,7 +757,11 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, false, true, Backend::Virtual)
+    let config = RunConfig {
+        check_leaks: false,
+        ..RunConfig::virtual_time()
+    };
+    run_checked(nprocs, model, body, config)
 }
 
 /// [`run_spmd`] on the seed execution path: fresh OS threads and a fresh
@@ -711,7 +773,11 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    run_checked(nprocs, model, body, true, false, Backend::Virtual)
+    let config = RunConfig {
+        pooled: false,
+        ..RunConfig::virtual_time()
+    };
+    run_checked(nprocs, model, body, config)
 }
 
 /// Like [`run_spmd`], but rank panics are contained and reported as a
@@ -758,18 +824,21 @@ where
     F: Fn(&mut Ctx) -> R + Sync,
     R: Send,
 {
-    let (outcomes, leaked, wall_us) =
-        run_inner_result(nprocs, model, None, body, config.pooled, config.backend);
+    let (outcomes, leaked, wall_us) = run_inner_result(nprocs, model, None, body, config);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
+    let mut rank_traces = Vec::with_capacity(if config.traced { nprocs } else { 0 });
     let mut failures = Vec::new();
     for outcome in outcomes {
         match outcome {
-            Ok((r, now, stats)) => {
+            Ok((r, now, stats, trace)) => {
                 results.push(r);
                 rank_times.push(now);
                 per_rank.push(stats);
+                if let Some(t) = trace {
+                    rank_traces.push(t);
+                }
             }
             Err(failure) => failures.push(failure),
         }
@@ -785,12 +854,18 @@ where
         );
     }
     let elapsed_virtual = rank_times.iter().copied().fold(0.0, f64::max);
+    let trace = config.traced.then(|| RunTrace {
+        ranks: rank_traces,
+        rank_times: rank_times.clone(),
+        elapsed_virtual,
+    });
     Ok(SpmdResult {
         results,
         elapsed_virtual,
         rank_times,
         stats: RunStats { per_rank },
         wall_us,
+        trace,
     })
 }
 
@@ -860,20 +935,23 @@ where
             backend: config.backend,
         });
     }
-    let (outcomes, leaked, _wall_us) = run_inner_result(
-        nprocs,
-        model,
-        Some(Arc::new(plan)),
-        body,
-        config.pooled,
-        Backend::Virtual,
-    );
+    // Fault-injected runs do not report traces: [`FtSpmdResult`] has no
+    // trace field, and a crashed rank's recorder dies with its unwind —
+    // a partial-trace API is not worth the asymmetry. Tracing is forced
+    // off so the recorder is never even installed.
+    let config = RunConfig {
+        traced: false,
+        backend: Backend::Virtual,
+        ..config
+    };
+    let (outcomes, leaked, _wall_us) =
+        run_inner_result(nprocs, model, Some(Arc::new(plan)), body, config);
     let mut results = Vec::with_capacity(nprocs);
     let mut rank_times = Vec::with_capacity(nprocs);
     let mut per_rank = Vec::with_capacity(nprocs);
     for outcome in outcomes {
         match outcome {
-            Ok((r, now, stats)) => {
+            Ok((r, now, stats, _trace)) => {
                 results.push(Ok(r));
                 rank_times.push(now);
                 per_rank.push(stats);
@@ -1115,7 +1193,66 @@ mod tests {
         assert_eq!(cfg.backend, Backend::Virtual);
         assert!(cfg.pooled);
         assert!(cfg.check_leaks);
+        assert!(!cfg.traced);
+        assert_eq!(cfg.trace_capacity, DEFAULT_TRACE_CAPACITY);
         assert_eq!(RunConfig::real().on(Backend::Virtual), cfg);
+        assert_eq!(RunConfig::traced(), cfg.with_tracing());
+    }
+
+    #[test]
+    fn traced_runs_surface_per_rank_event_streams() {
+        let cfg = RunConfig::traced();
+        let out = run_spmd_with(3, MachineModel::ibm_sp(), cfg, |ctx| {
+            let right = (ctx.rank() + 1) % ctx.nprocs();
+            let left = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+            ctx.send(right, 0, ctx.rank() as u64);
+            ctx.recv::<u64>(left, 0)
+        });
+        let trace = out.trace.as_ref().expect("traced run must carry a trace");
+        assert_eq!(trace.ranks.len(), 3);
+        assert_eq!(trace.total_dropped(), 0);
+        for rt in &trace.ranks {
+            use crate::trace::TraceEvent;
+            assert!(
+                matches!(rt.events.first(), Some(TraceEvent::PoolDispatch { .. })),
+                "dispatch must open rank {}'s stream",
+                rt.rank
+            );
+            let sends = rt
+                .events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Send { .. }))
+                .count();
+            let recvs = rt
+                .events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Recv { .. }))
+                .count();
+            assert_eq!((sends, recvs), (1, 1), "ring body is one send, one recv");
+        }
+        // Untraced runs carry nothing.
+        let plain = run_spmd(2, MachineModel::ibm_sp(), |ctx| ctx.rank());
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn trace_ring_capacity_drops_oldest_but_not_results() {
+        let cfg = RunConfig::traced().with_trace_capacity(4);
+        let out = run_spmd_with(2, MachineModel::ibm_sp(), cfg, |ctx| {
+            let mut acc = 0u64;
+            for i in 0..16u64 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, i, i);
+                } else {
+                    acc += ctx.recv::<u64>(0, i);
+                }
+            }
+            acc
+        });
+        assert_eq!(out.results[1], (0..16).sum::<u64>());
+        let trace = out.trace.expect("traced");
+        assert!(trace.total_dropped() > 0, "tiny ring must wrap");
+        assert!(trace.ranks.iter().all(|r| r.events.len() <= 4));
     }
 
     #[test]

@@ -10,13 +10,30 @@ pub struct RankStats {
     pub bytes_sent: u64,
     /// Virtual seconds spent in compute charges.
     pub compute_time: f64,
-    /// Virtual seconds spent waiting for messages (clock jumps at receives)
-    /// plus send/receive CPU overheads.
-    pub comm_time: f64,
+    /// Virtual seconds spent **blocked on peers**: clock jumps at
+    /// receives whose message arrives "in the future", plus modeled
+    /// retransmission timeouts under an active fault plan. This is the
+    /// component a critical-path analysis can hope to remove by
+    /// rebalancing work; [`RankStats::overhead_time`] is the part it
+    /// cannot.
+    pub wait_time: f64,
+    /// Virtual seconds of send/receive **CPU overhead** (the machine
+    /// model's per-message `send_overhead`/`recv_overhead` charges) —
+    /// substrate cost paid even when no rank ever waits.
+    pub overhead_time: f64,
     /// Faults injected into this rank's operations by an active
     /// [`crate::FaultPlan`]: delayed messages, dropped attempts, and
     /// duplicated copies (0 in fault-free runs and under an inert plan).
     pub fault_events: u64,
+}
+
+impl RankStats {
+    /// Total communication time: blocked-on-peer waits plus send/receive
+    /// CPU overhead (the two components are tracked separately — see
+    /// [`RankStats::wait_time`] / [`RankStats::overhead_time`]).
+    pub fn comm_time(&self) -> f64 {
+        self.wait_time + self.overhead_time
+    }
 }
 
 /// Aggregated statistics for a whole run.
@@ -51,6 +68,16 @@ impl RunStats {
         self.per_rank.iter().map(|r| r.fault_events).sum()
     }
 
+    /// Total virtual seconds all ranks spent blocked on peers.
+    pub fn total_wait_time(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.wait_time).sum()
+    }
+
+    /// Total virtual seconds of send/receive CPU overhead across ranks.
+    pub fn total_overhead_time(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.overhead_time).sum()
+    }
+
     /// Fraction of the busiest rank's time spent communicating, a rough
     /// efficiency indicator: `comm / (comm + compute)` for the rank with
     /// the largest total.
@@ -58,9 +85,10 @@ impl RunStats {
         self.per_rank
             .iter()
             .map(|r| {
-                let tot = r.comm_time + r.compute_time;
+                let comm = r.comm_time();
+                let tot = comm + r.compute_time;
                 if tot > 0.0 {
-                    r.comm_time / tot
+                    comm / tot
                 } else {
                     0.0
                 }
@@ -81,14 +109,16 @@ mod tests {
                     msgs_sent: 2,
                     bytes_sent: 100,
                     compute_time: 1.0,
-                    comm_time: 1.0,
+                    wait_time: 0.75,
+                    overhead_time: 0.25,
                     fault_events: 0,
                 },
                 RankStats {
                     msgs_sent: 3,
                     bytes_sent: 50,
                     compute_time: 2.0,
-                    comm_time: 0.5,
+                    wait_time: 0.5,
+                    overhead_time: 0.0,
                     fault_events: 1,
                 },
             ],
@@ -97,6 +127,9 @@ mod tests {
         assert_eq!(stats.total_bytes(), 150);
         assert_eq!(stats.max_compute_time(), 2.0);
         assert_eq!(stats.total_fault_events(), 1);
+        assert!((stats.total_wait_time() - 1.25).abs() < 1e-12);
+        assert!((stats.total_overhead_time() - 0.25).abs() < 1e-12);
+        assert!((stats.per_rank[0].comm_time() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -106,7 +139,8 @@ mod tests {
                 msgs_sent: 1,
                 bytes_sent: 1,
                 compute_time: 0.0,
-                comm_time: 3.0,
+                wait_time: 2.0,
+                overhead_time: 1.0,
                 fault_events: 0,
             }],
         };

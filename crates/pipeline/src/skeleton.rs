@@ -773,6 +773,7 @@ pub fn run_pipeline_traced<P: Pipeline>(
 
     // --- Single rank: the whole chain runs message-free. ------------------
     if p == 1 {
+        ctx.trace_phase(PhaseKind::Transform.name(), "all stages fused");
         let mut acc = pipe.out_identity();
         let mut seq = 0u64;
         while let Some(mut item) = pipe.ingest(seq) {
@@ -804,6 +805,7 @@ pub fn run_pipeline_traced<P: Pipeline>(
     let mut stream_len: Option<u64> = None;
     if me == 0 {
         // --- Ingest: stream the source through edge 0. --------------------
+        ctx.trace_phase(PhaseKind::Ingest.name(), "stream source");
         let mut out: Outflow<P::Item> =
             Outflow::new(0, levels[1].clone(), router_for(1), config.window);
         let mut seq = 0u64;
@@ -812,10 +814,12 @@ pub fn run_pipeline_traced<P: Pipeline>(
             out.send_item(ctx, &mut stats, seq, item);
             seq += 1;
         }
+        ctx.trace_phase(PhaseKind::Drain.name(), "end-of-stream wave");
         out.finish(ctx, seq);
         stream_len = Some(seq);
     } else if me == p - 1 {
         // --- Emit: in-order fold of the last edge. ------------------------
+        ctx.trace_phase(PhaseKind::Emit.name(), "in-order fold");
         let last = levels.len() - 1;
         let mut inflow = Inflow::new(
             (last - 1) as u64,
@@ -843,6 +847,11 @@ pub fn run_pipeline_traced<P: Pipeline>(
     } else if let Some((level, replica)) = my_level_pos {
         // --- Transform: one segment replica. ------------------------------
         let seg = &plan.segments[level - 1];
+        if ctx.is_traced() {
+            // Label built only when a recorder is listening.
+            let label = format!("stages {}..{} r{replica}", seg.stages.0, seg.stages.1);
+            ctx.trace_phase(PhaseKind::Transform.name(), &label);
+        }
         let my_stages = &stages[seg.stages.0..seg.stages.1];
         let mut inflow = Inflow::new(
             (level - 1) as u64,

@@ -80,8 +80,8 @@ proptest! {
     ) {
         let model = MachineModel::ibm_sp();
         for backend in [Backend::Virtual, Backend::Real] {
-            let fresh_cfg = RunConfig { backend, pooled: false, check_leaks: true };
-            let pooled_cfg = RunConfig { backend, pooled: true, check_leaks: true };
+            let fresh_cfg = RunConfig { backend, pooled: false, ..RunConfig::virtual_time() };
+            let pooled_cfg = RunConfig { backend, ..RunConfig::virtual_time() };
             // Fresh baseline: new network, empty arenas and freelists.
             let fresh = run_spmd_with(n, model, fresh_cfg, |ctx| body(&sizes, seed, ctx));
             // Repeated pooled runs: the first warms the cache entry; the
@@ -120,7 +120,7 @@ proptest! {
         // (both) must be invisible in every modeled observable.
         let model = MachineModel::cray_t3d();
         let run = |backend| {
-            let cfg = RunConfig { backend, pooled: true, check_leaks: true };
+            let cfg = RunConfig { backend, ..RunConfig::virtual_time() };
             run_spmd_with(n, model, cfg, |ctx| body(&sizes, seed, ctx))
         };
         let _warm_v = run(Backend::Virtual);

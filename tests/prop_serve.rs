@@ -175,3 +175,125 @@ proptest! {
         });
     }
 }
+
+// ---------------------------------------------------------------------------
+// Metrics exposition: every line of `metrics_text()` must parse as
+// Prometheus text format, and the counters must add up.
+// ---------------------------------------------------------------------------
+
+/// Check one `name{labels} value` sample line, returning `(name, value)`.
+fn parse_sample_line(line: &str) -> (String, f64) {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().unwrap().is_ascii_alphabetic()
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let (series, value) = line.rsplit_once(' ').expect("sample has 'series value' form");
+    let name = if let Some(brace) = series.find('{') {
+        assert!(series.ends_with('}'), "label block closes: {line}");
+        let labels = &series[brace + 1..series.len() - 1];
+        // k="v" pairs separated by commas; values may contain escaped
+        // quotes, so split on '",' boundaries.
+        for pair in labels.split("\",") {
+            let pair = pair.strip_suffix('"').unwrap_or(pair);
+            let (k, v) = pair.split_once("=\"").expect("label is k=\"v\": {line}");
+            assert!(valid_name(k) || k == "le" || k == "quantile", "label key {k:?}");
+            assert!(!v.contains('\n'), "label value unescaped: {v:?}");
+        }
+        &series[..brace]
+    } else {
+        series
+    };
+    assert!(valid_name(name), "metric name {name:?} in {line:?}");
+    let v: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value.parse().unwrap_or_else(|_| panic!("bad value {value:?} in {line:?}"))
+    };
+    (name.to_string(), v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn metrics_text_parses_line_by_line_and_counters_add_up(
+        mix in vec((0u8..3, 0u32..999, 0u32..4), 1..10),
+        p in 2usize..7,
+        max_concurrent in 1usize..6,
+    ) {
+        let mut svc = service(&mix, p, max_concurrent);
+        // Force a typed rejection so the reason-labeled counter appears.
+        let mut capped = PlanService::new(p, ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let reject = capped.submit(0, mix_plan(0, 1), Value::Unit);
+        prop_assert!(reject.is_err());
+
+        let out = svc.serve(MachineModel::ibm_sp());
+        prop_assert!(out.report.outcomes.iter().all(|o| o.is_ok()));
+
+        for (svc, admitted, rejected) in [(&svc, mix.len() as u64, 0u64), (&capped, 0, 1)] {
+            let text = svc.metrics_text();
+            let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+            let mut samples: Vec<(String, f64)> = Vec::new();
+            for line in text.lines() {
+                prop_assert!(!line.is_empty(), "no blank lines in the exposition");
+                if let Some(rest) = line.strip_prefix("# ") {
+                    let mut parts = rest.splitn(3, ' ');
+                    let kw = parts.next().unwrap();
+                    let name = parts.next().expect("comment names a metric");
+                    prop_assert!(kw == "HELP" || kw == "TYPE", "unknown comment {line:?}");
+                    if kw == "TYPE" {
+                        let kind = parts.next().expect("TYPE has a kind");
+                        prop_assert!(
+                            ["counter", "gauge", "histogram", "summary"].contains(&kind),
+                            "bad kind {kind:?}"
+                        );
+                        typed.insert(name.to_string());
+                    }
+                } else {
+                    samples.push(parse_sample_line(line));
+                }
+            }
+            // Every sample belongs to a declared metric family.
+            for (name, _) in &samples {
+                let base = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|b| typed.contains(*b))
+                    .unwrap_or(name);
+                prop_assert!(typed.contains(base), "undeclared sample {name:?}");
+            }
+            let value_of = |n: &str| {
+                samples
+                    .iter()
+                    .filter(|(name, _)| name == n)
+                    .map(|(_, v)| v)
+                    .sum::<f64>()
+            };
+            prop_assert_eq!(value_of("planserve_admitted_total") as u64, admitted);
+            prop_assert_eq!(value_of("planserve_rejected_total") as u64, rejected);
+            // The queue drained (or was never filled).
+            prop_assert_eq!(value_of("planserve_queue_depth") as u64, 0);
+        }
+
+        // Served-batch accounting: completions across tenants equal the
+        // batch, and the wave histogram's +Inf bucket counts every wave.
+        let text = svc.metrics_text();
+        let completed: f64 = text
+            .lines()
+            .filter(|l| l.starts_with("planserve_plans_completed_total"))
+            .map(|l| parse_sample_line(l).1)
+            .sum();
+        prop_assert_eq!(completed as u64, mix.len() as u64);
+        let waves_inf: f64 = text
+            .lines()
+            .filter(|l| l.starts_with("planserve_wave_occupancy_bucket{le=\"+Inf\"}"))
+            .map(|l| parse_sample_line(l).1)
+            .sum();
+        prop_assert_eq!(waves_inf as u64, out.report.waves);
+    }
+}
